@@ -1,0 +1,430 @@
+// Package ashare is AShare, the file sharing application of paper §4.2.
+//
+// Atum provides the messaging and membership layer; AShare adds:
+//
+//   - a metadata index — a complete soft-state copy at every node, mapping
+//     files to replicas and chunk digests (the paper used SQLite; this
+//     implementation substitutes a pure-Go in-memory indexed store with the
+//     same insert/delete/lookup/search semantics);
+//   - randomized replication with a feedback loop (Fig. 5): every node
+//     replicates a file with probability (ρ−c)/n until ρ replicas exist;
+//   - chunked parallel GET with per-chunk SHA-256 integrity checks —
+//     corrupted chunks are re-pulled from another replica.
+package ashare
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"atum"
+	"atum/internal/crypto"
+)
+
+// FileKey identifies a file by owner and name (§4.2.1: per-user namespaces,
+// exclusive write access for the owner).
+type FileKey struct {
+	Owner atum.NodeID
+	Name  string
+}
+
+// String implements fmt.Stringer.
+func (k FileKey) String() string { return fmt.Sprintf("%v/%s", k.Owner, k.Name) }
+
+// FileMeta is the index record for one file.
+type FileMeta struct {
+	Key          FileKey
+	Size         int
+	ChunkSize    int
+	ChunkDigests []crypto.Digest
+}
+
+// NumChunks returns the number of chunks.
+func (m FileMeta) NumChunks() int { return len(m.ChunkDigests) }
+
+// Options configures an AShare node.
+type Options struct {
+	// Rho is the replication target ρ (paper: 0.1–0.3 of system size).
+	Rho int
+	// SystemSize estimates n for the replication probability (ρ−c)/n.
+	SystemSize int
+	// ChunkSize is the transfer unit (paper experiments: 1 MiB).
+	ChunkSize int
+	// Corrupt makes this node a Byzantine replica: every chunk it serves is
+	// corrupted (§6.2's fault injection).
+	Corrupt bool
+	// ParallelPulls bounds concurrent chunk requests per GET (1 = the
+	// paper's "simple" mode; >1 = "parallel").
+	ParallelPulls int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Rho <= 0 {
+		o.Rho = 3
+	}
+	if o.SystemSize <= 0 {
+		o.SystemSize = 10
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 1 << 20
+	}
+	if o.ParallelPulls <= 0 {
+		o.ParallelPulls = 4
+	}
+	return o
+}
+
+// Service is one node's AShare instance. Single-goroutine discipline: all
+// methods must be called from the node's actor context (in simulation, from
+// harness code between Run calls is also safe).
+type Service struct {
+	node *atum.Node
+	opts Options
+
+	index  *Index
+	chunks map[FileKey][][]byte // replicas stored locally
+
+	gets map[FileKey]*getState
+	rand uint64
+}
+
+type getState struct {
+	meta      FileMeta
+	got       [][]byte
+	remaining int
+	inflight  map[int]atum.NodeID
+	tried     map[int]map[atum.NodeID]bool
+	start     time.Duration
+	done      func(content []byte, corruptRetries int, err error)
+	retries   int
+}
+
+// New creates the service; call Callbacks and RawHandler to wire it into
+// the node's Config, then Bind once the node exists.
+func New(opts Options) *Service {
+	return &Service{
+		opts:   opts.withDefaults(),
+		index:  NewIndex(),
+		chunks: make(map[FileKey][][]byte),
+		gets:   make(map[FileKey]*getState),
+	}
+}
+
+// Bind attaches the service to its node.
+func (s *Service) Bind(node *atum.Node) { s.node = node }
+
+// Index returns the node's metadata index (a complete copy, §4.2).
+func (s *Service) Index() *Index { return s.index }
+
+// Callbacks returns the Atum callbacks AShare needs.
+func (s *Service) Callbacks() atum.Callbacks {
+	return atum.Callbacks{Deliver: s.deliver}
+}
+
+// --- broadcast records (the metadata update protocol) ---
+
+type putRecord struct {
+	Meta FileMeta
+}
+
+type replicaRecord struct {
+	Key  FileKey
+	Node atum.NodeID
+}
+
+type deleteRecord struct {
+	Key FileKey
+}
+
+type chunkRequest struct {
+	Key FileKey
+	Idx int
+}
+
+type chunkResponse struct {
+	Key  FileKey
+	Idx  int
+	Data []byte
+}
+
+// WireSize implements the bandwidth model's sizer.
+func (c chunkResponse) WireSize() int { return 64 + len(c.Data) }
+
+// Put stores a file under this node's namespace: chunk it, broadcast the
+// metadata (making it visible system-wide), and keep the first replica.
+func (s *Service) Put(name string, content []byte) (FileMeta, error) {
+	if s.node == nil || !s.node.IsMember() {
+		return FileMeta{}, errors.New("ashare: node is not a member")
+	}
+	key := FileKey{Owner: s.node.Identity().ID, Name: name}
+	meta := FileMeta{Key: key, Size: len(content), ChunkSize: s.opts.ChunkSize}
+	var parts [][]byte
+	for off := 0; off < len(content); off += s.opts.ChunkSize {
+		end := off + s.opts.ChunkSize
+		if end > len(content) {
+			end = len(content)
+		}
+		chunk := bytes.Clone(content[off:end])
+		parts = append(parts, chunk)
+		meta.ChunkDigests = append(meta.ChunkDigests, crypto.Hash(chunk))
+	}
+	if len(parts) == 0 {
+		parts = [][]byte{nil}
+		meta.ChunkDigests = append(meta.ChunkDigests, crypto.Hash(nil))
+	}
+	s.chunks[key] = parts
+	if err := s.node.Broadcast(encodeRecord(putRecord{Meta: meta})); err != nil {
+		return FileMeta{}, err
+	}
+	// Announce ourselves as the first replica.
+	if err := s.node.Broadcast(encodeRecord(replicaRecord{Key: key, Node: key.Owner})); err != nil {
+		return FileMeta{}, err
+	}
+	return meta, nil
+}
+
+// Delete removes a file (owner only): every node drops the metadata and any
+// replicas.
+func (s *Service) Delete(name string) error {
+	if s.node == nil {
+		return errors.New("ashare: unbound service")
+	}
+	key := FileKey{Owner: s.node.Identity().ID, Name: name}
+	return s.node.Broadcast(encodeRecord(deleteRecord{Key: key}))
+}
+
+// Search returns the metadata of files whose key contains the term (§4.2.2:
+// resolved entirely from the local index).
+func (s *Service) Search(term string) []FileMeta { return s.index.Search(term) }
+
+// Get pulls a file: chunks are requested in parallel from all replicas,
+// verified against the indexed digests, and re-pulled from another replica
+// when an integrity check fails. done fires with the assembled content and
+// the number of corrupt-chunk retries.
+func (s *Service) Get(key FileKey, done func(content []byte, corruptRetries int, err error)) {
+	meta, ok := s.index.Lookup(key)
+	if !ok {
+		done(nil, 0, fmt.Errorf("ashare: %v not in index", key))
+		return
+	}
+	if _, active := s.gets[key]; active {
+		done(nil, 0, fmt.Errorf("ashare: GET already in progress for %v", key))
+		return
+	}
+	g := &getState{
+		meta:      meta,
+		got:       make([][]byte, meta.NumChunks()),
+		remaining: meta.NumChunks(),
+		inflight:  make(map[int]atum.NodeID),
+		tried:     make(map[int]map[atum.NodeID]bool),
+		start:     s.node.Now(),
+		done:      done,
+	}
+	s.gets[key] = g
+	s.pump(key, g)
+}
+
+// pump issues chunk requests up to the parallelism bound.
+func (s *Service) pump(key FileKey, g *getState) {
+	replicas := s.index.Replicas(key)
+	if len(replicas) == 0 {
+		delete(s.gets, key)
+		g.done(nil, g.retries, fmt.Errorf("ashare: no replicas for %v", key))
+		return
+	}
+	for idx := 0; idx < g.meta.NumChunks() && len(g.inflight) < s.opts.ParallelPulls; idx++ {
+		if g.got[idx] != nil {
+			continue
+		}
+		if _, busy := g.inflight[idx]; busy {
+			continue
+		}
+		target, ok := s.pickReplica(g, idx, replicas)
+		if !ok {
+			delete(s.gets, key)
+			g.done(nil, g.retries, fmt.Errorf("ashare: all replicas failed for chunk %d of %v", idx, key))
+			return
+		}
+		g.inflight[idx] = target
+		s.node.SendRaw(target, chunkRequest{Key: key, Idx: idx})
+	}
+}
+
+// pickReplica spreads chunk requests over replicas, skipping ones that
+// already served us a corrupt copy of this chunk.
+func (s *Service) pickReplica(g *getState, idx int, replicas []atum.NodeID) (atum.NodeID, bool) {
+	tried := g.tried[idx]
+	for i := 0; i < len(replicas); i++ {
+		s.rand = s.rand*6364136223846793005 + 1442695040888963407
+		cand := replicas[(idx+int(s.rand>>33))%len(replicas)]
+		if !tried[cand] {
+			return cand, true
+		}
+	}
+	for _, cand := range replicas {
+		if !tried[cand] {
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
+// HandleRaw is the node's OnRawMessage hook.
+func (s *Service) HandleRaw(from atum.NodeID, msg any) {
+	switch m := msg.(type) {
+	case chunkRequest:
+		parts, ok := s.chunks[m.Key]
+		if !ok || m.Idx < 0 || m.Idx >= len(parts) {
+			return
+		}
+		data := parts[m.Idx]
+		if s.opts.Corrupt {
+			data = bytes.Clone(data)
+			if len(data) > 0 {
+				data[0] ^= 0xFF
+			} else {
+				data = []byte{0xFF}
+			}
+		}
+		s.node.SendRaw(from, chunkResponse{Key: m.Key, Idx: m.Idx, Data: data})
+	case chunkResponse:
+		s.handleChunk(from, m)
+	}
+}
+
+func (s *Service) handleChunk(from atum.NodeID, m chunkResponse) {
+	g, ok := s.gets[m.Key]
+	if !ok || m.Idx < 0 || m.Idx >= g.meta.NumChunks() || g.got[m.Idx] != nil {
+		return
+	}
+	if g.inflight[m.Idx] != from {
+		return
+	}
+	delete(g.inflight, m.Idx)
+	if crypto.Hash(m.Data) != g.meta.ChunkDigests[m.Idx] {
+		// Integrity check failed: remember the bad replica and re-pull.
+		g.retries++
+		tried, ok := g.tried[m.Idx]
+		if !ok {
+			tried = make(map[atum.NodeID]bool)
+			g.tried[m.Idx] = tried
+		}
+		tried[from] = true
+		s.pump(m.Key, g)
+		return
+	}
+	g.got[m.Idx] = m.Data
+	g.remaining--
+	if g.remaining == 0 {
+		delete(s.gets, m.Key)
+		g.done(bytes.Join(g.got, nil), g.retries, nil)
+		return
+	}
+	s.pump(m.Key, g)
+}
+
+// deliver processes broadcast index updates (PUT/replica/DELETE records).
+func (s *Service) deliver(d atum.Delivery) {
+	v, err := decodeRecord(d.Data)
+	if err != nil {
+		return
+	}
+	switch r := v.(type) {
+	case putRecord:
+		if r.Meta.Key.Owner != d.Origin {
+			return // §4.2.1: owners have exclusive write access
+		}
+		s.index.Put(r.Meta)
+		s.maybeReplicate(r.Meta.Key)
+	case replicaRecord:
+		if r.Node != d.Origin {
+			return
+		}
+		s.index.AddReplica(r.Key, r.Node)
+		// Feedback loop (Fig. 5): keep replicating until ρ copies exist.
+		s.maybeReplicate(r.Key)
+	case deleteRecord:
+		if r.Key.Owner != d.Origin {
+			return
+		}
+		s.index.Delete(r.Key)
+		delete(s.chunks, r.Key)
+	}
+}
+
+// maybeReplicate runs one round of the randomized replication algorithm:
+// replicate with probability (ρ−c)/n.
+func (s *Service) maybeReplicate(key FileKey) {
+	if s.node == nil || !s.node.IsMember() {
+		return
+	}
+	self := s.node.Identity().ID
+	if _, have := s.chunks[key]; have {
+		return
+	}
+	c := len(s.index.Replicas(key))
+	if c >= s.opts.Rho || c == 0 {
+		return
+	}
+	p := float64(s.opts.Rho-c) / float64(s.opts.SystemSize)
+	s.rand = s.rand*6364136223846793005 + uint64(self)
+	if float64(s.rand>>40)/float64(1<<24) > p {
+		return
+	}
+	// Nominate ourselves: read the file, then announce the replica.
+	s.Get(key, func(content []byte, _ int, err error) {
+		if err != nil {
+			return
+		}
+		parts, meta := [][]byte{}, FileMeta{}
+		meta, ok := s.index.Lookup(key)
+		if !ok {
+			return
+		}
+		for off := 0; off < len(content); off += meta.ChunkSize {
+			end := off + meta.ChunkSize
+			if end > len(content) {
+				end = len(content)
+			}
+			parts = append(parts, content[off:end])
+		}
+		s.chunks[key] = parts
+		_ = s.node.Broadcast(encodeRecord(replicaRecord{Key: key, Node: self}))
+	})
+}
+
+// StoredReplicas returns how many files this node currently replicates.
+func (s *Service) StoredReplicas() int { return len(s.chunks) }
+
+// HoldReplica force-installs a local replica (experiment setup helper).
+func (s *Service) HoldReplica(meta FileMeta, content []byte) {
+	var parts [][]byte
+	for off := 0; off < len(content); off += meta.ChunkSize {
+		end := off + meta.ChunkSize
+		if end > len(content) {
+			end = len(content)
+		}
+		parts = append(parts, bytes.Clone(content[off:end]))
+	}
+	s.chunks[meta.Key] = parts
+	s.index.Put(meta)
+	s.index.AddReplica(meta.Key, s.node.Identity().ID)
+}
+
+// BuildMeta computes the metadata record for content without storing it
+// (experiment setup helper).
+func BuildMeta(owner atum.NodeID, name string, content []byte, chunkSize int) FileMeta {
+	meta := FileMeta{Key: FileKey{Owner: owner, Name: name}, Size: len(content), ChunkSize: chunkSize}
+	for off := 0; off < len(content); off += chunkSize {
+		end := off + chunkSize
+		if end > len(content) {
+			end = len(content)
+		}
+		meta.ChunkDigests = append(meta.ChunkDigests, crypto.Hash(content[off:end]))
+	}
+	if len(meta.ChunkDigests) == 0 {
+		meta.ChunkDigests = append(meta.ChunkDigests, crypto.Hash(nil))
+	}
+	return meta
+}

@@ -1,0 +1,155 @@
+package ashare
+
+// Model-based property tests for the metadata index (the component that
+// substitutes for the paper's SQLite store, §4.2): a random sequence of
+// Put/Delete/AddReplica operations is applied both to the Index and to a
+// plain-map reference model, and every observable query must agree.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"atum"
+	"atum/internal/crypto"
+)
+
+func TestIndexAgreesWithModel(t *testing.T) {
+	property := func(seed int64, opsRaw []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ix := NewIndex()
+		// Reference model mirroring the index semantics: file records and
+		// replica sets live independently — a replica announcement may
+		// arrive before the PUT record — and only Delete clears both.
+		files := make(map[FileKey]FileMeta)
+		replicas := make(map[FileKey]map[atum.NodeID]bool)
+
+		keys := make([]FileKey, 8)
+		for i := range keys {
+			keys[i] = FileKey{Owner: atum.NodeID(rng.Intn(3) + 1), Name: fmt.Sprintf("file-%d", i)}
+		}
+
+		for _, b := range opsRaw {
+			k := keys[int(b>>2)%len(keys)]
+			switch b % 4 {
+			case 0: // Put inserts or updates the file record only.
+				meta := FileMeta{
+					Key:          k,
+					Size:         rng.Intn(1 << 20),
+					ChunkSize:    1 << 10,
+					ChunkDigests: []crypto.Digest{crypto.Hash([]byte(k.Name))},
+				}
+				ix.Put(meta)
+				files[k] = meta
+			case 1: // Delete clears the record and the replica set.
+				ix.Delete(k)
+				delete(files, k)
+				delete(replicas, k)
+			case 2: // AddReplica tracks holders even before the PUT arrives
+				// (broadcast reordering means a replica announcement can
+				// overtake the file announcement).
+				node := atum.NodeID(rng.Intn(5) + 1)
+				ix.AddReplica(k, node)
+				if replicas[k] == nil {
+					replicas[k] = make(map[atum.NodeID]bool)
+				}
+				replicas[k][node] = true
+			case 3: // Lookup consistency probe.
+				got, ok := ix.Lookup(k)
+				want, wok := files[k]
+				if ok != wok || (ok && got.Key != want.Key) {
+					return false
+				}
+			}
+		}
+
+		// Final full agreement.
+		if ix.Len() != len(files) {
+			return false
+		}
+		for k, want := range files {
+			got, ok := ix.Lookup(k)
+			if !ok || got.Size != want.Size {
+				return false
+			}
+		}
+		for _, k := range keys {
+			reps := ix.Replicas(k)
+			if len(reps) != len(replicas[k]) {
+				return false
+			}
+			for _, r := range reps {
+				if !replicas[k][r] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexSearchFindsAllMatching(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ix := NewIndex()
+		names := []string{"report.pdf", "report-final.pdf", "notes.txt", "music.ogg", "holiday.jpg"}
+		inserted := make(map[FileKey]string)
+		for i, name := range names {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			k := FileKey{Owner: atum.NodeID(i%2 + 1), Name: name}
+			ix.Put(FileMeta{Key: k, Size: 1})
+			inserted[k] = name
+		}
+		for _, term := range []string{"report", ".pdf", "txt", "zzz-nothing"} {
+			got := ix.Search(term)
+			want := 0
+			for _, name := range inserted {
+				if strings.Contains(name, term) {
+					want++
+				}
+			}
+			if len(got) != want {
+				return false
+			}
+			for _, m := range got {
+				if !strings.Contains(m.Key.Name, term) && !strings.Contains(m.Key.String(), term) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexReplicasSortedAndDeduped(t *testing.T) {
+	property := func(nodesRaw []uint8) bool {
+		ix := NewIndex()
+		k := FileKey{Owner: 1, Name: "f"}
+		ix.Put(FileMeta{Key: k})
+		uniq := make(map[atum.NodeID]bool)
+		for _, b := range nodesRaw {
+			id := atum.NodeID(b%16 + 1)
+			ix.AddReplica(k, id)
+			uniq[id] = true
+		}
+		reps := ix.Replicas(k)
+		if len(reps) != len(uniq) {
+			return false
+		}
+		return sort.SliceIsSorted(reps, func(i, j int) bool { return reps[i] < reps[j] })
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package ashare
+
+// The paper stores AShare's metadata index as a complete copy at every node
+// and names a DHT-based index as future work (§4.2, footnote 5). This file
+// implements that future-work direction as a working prototype: a
+// consistent-hashing ring that places each file's metadata on R holder
+// nodes, so the index scales with 1/n per node instead of full replication.
+// Byzantine index holders are masked by querying all R holders and taking
+// the majority answer (R ≥ 2f_idx+1 tolerates f_idx lying holders).
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"atum"
+	"atum/internal/crypto"
+)
+
+// ringVnodes is the number of virtual points each node occupies on the
+// ring; more points smooth the load distribution.
+const ringVnodes = 16
+
+// Ring is a consistent-hashing ring over node IDs. The zero value is an
+// empty ring; build one with NewRing or refresh membership with Update.
+type Ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	pos uint64
+	id  atum.NodeID
+}
+
+// NewRing builds a ring over the given members.
+func NewRing(members []atum.NodeID) *Ring {
+	r := &Ring{}
+	r.Update(members)
+	return r
+}
+
+// Update replaces the ring's membership. Consistent hashing moves only the
+// keys adjacent to changed nodes.
+func (r *Ring) Update(members []atum.NodeID) {
+	r.points = r.points[:0]
+	for _, id := range members {
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{pos: ringPos(id, v), id: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].pos != r.points[j].pos {
+			return r.points[i].pos < r.points[j].pos
+		}
+		return r.points[i].id < r.points[j].id
+	})
+}
+
+// NumMembers returns the number of distinct nodes on the ring.
+func (r *Ring) NumMembers() int {
+	seen := make(map[atum.NodeID]bool)
+	for _, p := range r.points {
+		seen[p.id] = true
+	}
+	return len(seen)
+}
+
+// Holders returns the `replicas` distinct nodes whose ring positions follow
+// the key's hash clockwise — the metadata holders for the key. Fewer nodes
+// than requested returns all of them.
+func (r *Ring) Holders(key FileKey, replicas int) []atum.NodeID {
+	if len(r.points) == 0 || replicas <= 0 {
+		return nil
+	}
+	h := keyPos(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= h })
+	var out []atum.NodeID
+	seen := make(map[atum.NodeID]bool)
+	for i := 0; i < len(r.points) && len(out) < replicas; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.id] {
+			seen[p.id] = true
+			out = append(out, p.id)
+		}
+	}
+	return out
+}
+
+// IsHolder reports whether node is among the key's holders.
+func (r *Ring) IsHolder(key FileKey, replicas int, node atum.NodeID) bool {
+	for _, h := range r.Holders(key, replicas) {
+		if h == node {
+			return true
+		}
+	}
+	return false
+}
+
+func ringPos(id atum.NodeID, vnode int) uint64 {
+	var buf [18]byte
+	copy(buf[:], "ringp")
+	binary.BigEndian.PutUint64(buf[6:], uint64(id))
+	binary.BigEndian.PutUint32(buf[14:], uint32(vnode))
+	d := crypto.Hash(buf[:])
+	return binary.BigEndian.Uint64(d[:8])
+}
+
+func keyPos(key FileKey) uint64 {
+	var owner [8]byte
+	binary.BigEndian.PutUint64(owner[:], uint64(key.Owner))
+	d := crypto.Hash([]byte("ringk"), owner[:], []byte(key.Name))
+	return binary.BigEndian.Uint64(d[:8])
+}

@@ -1,0 +1,263 @@
+package ashare
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"atum"
+)
+
+func ringMembers(n int) []atum.NodeID {
+	out := make([]atum.NodeID, n)
+	for i := range out {
+		out[i] = atum.NodeID(i + 1)
+	}
+	return out
+}
+
+func TestRingHoldersDeterministic(t *testing.T) {
+	r := NewRing(ringMembers(10))
+	k := FileKey{Owner: 3, Name: "movie.mkv"}
+	a := r.Holders(k, 3)
+	b := r.Holders(k, 3)
+	if len(a) != 3 {
+		t.Fatalf("got %d holders, want 3", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("holders not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestRingHoldersDistinct(t *testing.T) {
+	property := func(nRaw, repRaw uint8, owner uint16, name string) bool {
+		n := int(nRaw%20) + 1
+		replicas := int(repRaw%5) + 1
+		r := NewRing(ringMembers(n))
+		k := FileKey{Owner: atum.NodeID(owner%8 + 1), Name: name}
+		hs := r.Holders(k, replicas)
+		want := replicas
+		if n < want {
+			want = n
+		}
+		if len(hs) != want {
+			return false
+		}
+		seen := make(map[atum.NodeID]bool)
+		for _, h := range hs {
+			if seen[h] || h < 1 || int(h) > n {
+				return false
+			}
+			seen[h] = true
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	// With virtual nodes, no member should hold a grossly disproportionate
+	// share of keys.
+	const members, keys = 10, 2000
+	r := NewRing(ringMembers(members))
+	load := make(map[atum.NodeID]int)
+	for i := 0; i < keys; i++ {
+		k := FileKey{Owner: atum.NodeID(i%7 + 1), Name: fmt.Sprintf("file-%d", i)}
+		load[r.Holders(k, 1)[0]]++
+	}
+	mean := keys / members
+	for id, c := range load {
+		if c > 3*mean {
+			t.Fatalf("node %v holds %d keys (mean %d): ring badly unbalanced", id, c, mean)
+		}
+	}
+	if len(load) != members {
+		t.Fatalf("only %d/%d members hold any keys", len(load), members)
+	}
+}
+
+func TestRingMembershipChangeMovesFewKeys(t *testing.T) {
+	// Consistent hashing: removing one of 20 members should re-home only
+	// around 1/20th of single-holder keys.
+	const members, keys = 20, 2000
+	before := NewRing(ringMembers(members))
+	after := NewRing(ringMembers(members - 1)) // drop the last member
+
+	moved, lost := 0, 0
+	for i := 0; i < keys; i++ {
+		k := FileKey{Owner: 1, Name: fmt.Sprintf("k%d", i)}
+		b := before.Holders(k, 1)[0]
+		a := after.Holders(k, 1)[0]
+		if b == atum.NodeID(members) {
+			lost++ // had to move: its holder left
+			continue
+		}
+		if a != b {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys moved although their holder stayed", moved)
+	}
+	if lost == 0 || lost > keys/members*3 {
+		t.Fatalf("departed member held %d keys, expected around %d", lost, keys/members)
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil)
+	if hs := r.Holders(FileKey{Owner: 1, Name: "x"}, 3); hs != nil {
+		t.Fatalf("empty ring returned holders %v", hs)
+	}
+	if r.NumMembers() != 0 {
+		t.Fatal("empty ring has members")
+	}
+}
+
+// --- integration on the simulated cluster ---
+
+// ringCluster wires a RingIndex into every node of a SimCluster.
+func ringCluster(t *testing.T, n, replicas int) (*atum.SimCluster, []*atum.Node, []*RingIndex) {
+	t.Helper()
+	cluster := atum.NewSimCluster(atum.SimOptions{Seed: 5})
+	nodes := make([]*atum.Node, 0, n)
+	indexes := make([]*RingIndex, 0, n)
+	for i := 0; i < n; i++ {
+		ri := NewRingIndex(replicas)
+		node := cluster.AddNodeWith(atum.Callbacks{Deliver: func(atum.Delivery) {}},
+			func(cfg *atum.Config) {
+				cfg.OnRawMessage = func(from atum.NodeID, msg any) { ri.HandleRaw(from, msg) }
+			})
+		ri.Bind(node)
+		nodes = append(nodes, node)
+		indexes = append(indexes, ri)
+	}
+	cluster.Run(10 * time.Millisecond)
+	if err := nodes[0].Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	contact := nodes[0].Identity()
+	for _, node := range nodes[1:] {
+		if err := node.Join(contact); err != nil {
+			t.Fatal(err)
+		}
+		if !cluster.RunUntil(node.IsMember, 2*time.Minute) {
+			t.Fatal("join timed out")
+		}
+	}
+	members := make([]atum.NodeID, n)
+	for i, node := range nodes {
+		members[i] = node.Identity().ID
+	}
+	for _, ri := range indexes {
+		ri.SetMembers(members)
+	}
+	return cluster, nodes, indexes
+}
+
+func TestRingIndexPutLookup(t *testing.T) {
+	cluster, _, indexes := ringCluster(t, 8, 3)
+
+	meta := BuildMeta(1, "dataset.bin", []byte("0123456789abcdef"), 4)
+	if err := indexes[0].Put(meta); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Run(5 * time.Second)
+
+	// Records live at R holders, not everywhere.
+	holders := 0
+	for _, ri := range indexes {
+		holders += ri.Stored()
+	}
+	if holders != 3 {
+		t.Fatalf("record stored at %d nodes, want 3", holders)
+	}
+
+	// Any node can look it up.
+	var got FileMeta
+	var gotErr error
+	resolved := false
+	indexes[5].Lookup(meta.Key, func(m FileMeta, err error) {
+		got, gotErr, resolved = m, err, true
+	})
+	if !cluster.RunUntil(func() bool { return resolved }, time.Minute) {
+		t.Fatal("lookup did not resolve")
+	}
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if got.Key != meta.Key || got.Size != meta.Size || got.NumChunks() != meta.NumChunks() {
+		t.Fatalf("lookup returned %+v, want %+v", got, meta)
+	}
+}
+
+func TestRingIndexLookupMissing(t *testing.T) {
+	cluster, _, indexes := ringCluster(t, 6, 3)
+	var gotErr error
+	resolved := false
+	indexes[2].Lookup(FileKey{Owner: 9, Name: "nope"}, func(_ FileMeta, err error) {
+		gotErr, resolved = err, true
+	})
+	if !cluster.RunUntil(func() bool { return resolved }, time.Minute) {
+		t.Fatal("lookup did not resolve")
+	}
+	if gotErr != ErrNotFound {
+		t.Fatalf("err = %v, want ErrNotFound", gotErr)
+	}
+}
+
+func TestRingIndexMasksByzantineHolder(t *testing.T) {
+	cluster, nodes, indexes := ringCluster(t, 8, 3)
+
+	meta := BuildMeta(2, "ledger.db", []byte("the true content of the file!!"), 8)
+	if err := indexes[1].Put(meta); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Run(5 * time.Second)
+
+	// Corrupt one of the key's holders: it will serve forged metadata.
+	holders := indexes[0].ring.Holders(meta.Key, 3)
+	for i, node := range nodes {
+		if node.Identity().ID == holders[0] {
+			indexes[i].Corrupt = true
+		}
+	}
+
+	var got FileMeta
+	var gotErr error
+	resolved := false
+	indexes[7].Lookup(meta.Key, func(m FileMeta, err error) {
+		got, gotErr, resolved = m, err, true
+	})
+	if !cluster.RunUntil(func() bool { return resolved }, time.Minute) {
+		t.Fatal("lookup did not resolve")
+	}
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	// The two honest holders outvote the forger.
+	if got.NumChunks() != meta.NumChunks() || got.Size != meta.Size {
+		t.Fatalf("forged metadata won the vote: %+v", got)
+	}
+}
+
+func TestRingIndexDelete(t *testing.T) {
+	cluster, _, indexes := ringCluster(t, 6, 3)
+	meta := BuildMeta(1, "tmp.txt", []byte("x"), 1)
+	if err := indexes[0].Put(meta); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Run(3 * time.Second)
+	indexes[0].Delete(meta.Key)
+	cluster.Run(3 * time.Second)
+	for i, ri := range indexes {
+		if ri.Stored() != 0 {
+			t.Fatalf("node %d still stores %d records after delete", i, ri.Stored())
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package astream is AStream, the data streaming application of paper §4.3.
+//
+// AStream has a two-tier design:
+//
+//   - Tier 1 (reliability): Atum broadcasts per-chunk digests from the
+//     source. The application's Forward callback restricts gossip to one
+//     (Single) or two (Double) H-graph cycles — the §6.3 trade-off between
+//     metadata latency and bandwidth.
+//   - Tier 2 (throughput): a lightweight push multicast disseminates the
+//     actual chunk data over direct node links, flooding with
+//     deduplication (the paper uses a forest of f+1 parents per node; this
+//     implementation floods the same links and relies on tier-1 digests
+//     for authentication, preserving the "at least one correct path"
+//     guarantee).
+//
+// A node delivers a chunk when both the data and a matching tier-1 digest
+// are present; corrupted data (no digest match) is discarded.
+package astream
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sync"
+	"time"
+
+	"atum"
+	"atum/internal/crypto"
+)
+
+// CycleMode selects how many H-graph cycles tier-1 digests gossip along.
+type CycleMode int
+
+// Cycle modes (§6.3).
+const (
+	// Single gossips digests along one cycle (max throughput headroom).
+	Single CycleMode = iota + 1
+	// Double gossips digests along two cycles (lower latency).
+	Double
+)
+
+// String implements fmt.Stringer.
+func (m CycleMode) String() string {
+	if m == Double {
+		return "double"
+	}
+	return "single"
+}
+
+// Chunk is one delivered, verified stream chunk.
+type Chunk struct {
+	Seq  uint64
+	Data []byte
+}
+
+// Options configures a stream participant.
+type Options struct {
+	// Mode selects Single or Double cycle digest dissemination.
+	Mode CycleMode
+	// OnChunk receives verified chunks in arrival order.
+	OnChunk func(Chunk)
+	// Fanout bounds how many peers each node pushes data to (0 = all known
+	// vgroup + neighbor members).
+	Fanout int
+}
+
+// digestMsg is the tier-1 payload.
+type digestMsg struct {
+	Seq    uint64
+	Digest crypto.Digest
+}
+
+// dataMsg is the tier-2 payload.
+type dataMsg struct {
+	Seq  uint64
+	Data []byte
+}
+
+// WireSize implements the bandwidth model's sizer.
+func (d dataMsg) WireSize() int { return 32 + len(d.Data) }
+
+// Service is one node's stream participation.
+// maxCandidates bounds how many distinct unverified copies of one chunk a
+// node keeps (and forwards) while the tier-1 digest is still in flight. A
+// Byzantine parent can race a forged copy ahead of the correct one; keeping
+// only the first copy would let that forgery shadow the chunk entirely
+// (the paper's push-pull recovers by pulling from another parent; the flood
+// keeps bounded candidates instead). With f+1 parents at least one is
+// correct, so 4 candidates comfortably cover the forged-first orders.
+const maxCandidates = 4
+
+type Service struct {
+	node *atum.Node
+	opts Options
+
+	pendingData   map[uint64][][]byte // candidate copies awaiting the digest
+	pendingDigest map[uint64]crypto.Digest
+	delivered     map[uint64]bool
+	deliveredAt   map[uint64]time.Duration
+	digestAt      map[uint64]time.Duration
+}
+
+// New creates a stream service.
+func New(opts Options) *Service {
+	if opts.Mode == 0 {
+		opts.Mode = Single
+	}
+	return &Service{
+		opts:          opts,
+		pendingData:   make(map[uint64][][]byte),
+		pendingDigest: make(map[uint64]crypto.Digest),
+		delivered:     make(map[uint64]bool),
+		deliveredAt:   make(map[uint64]time.Duration),
+		digestAt:      make(map[uint64]time.Duration),
+	}
+}
+
+// Bind attaches the service to its node.
+func (s *Service) Bind(node *atum.Node) { s.node = node }
+
+// Callbacks returns the Atum callbacks for tier 1, including the Forward
+// restriction implementing Single/Double cycle dissemination.
+func (s *Service) Callbacks() atum.Callbacks {
+	return atum.Callbacks{
+		Deliver: s.deliverDigest,
+		Forward: func(_ atum.Delivery, link atum.ForwardLink) bool {
+			switch s.opts.Mode {
+			case Double:
+				return link.Cycle < 2
+			default:
+				return link.Cycle < 1
+			}
+		},
+	}
+}
+
+// Publish sends one stream chunk: the digest through Atum (tier 1), the
+// data through the push multicast (tier 2).
+func (s *Service) Publish(seq uint64, data []byte) error {
+	if err := s.node.Broadcast(encodeStream(digestMsg{Seq: seq, Digest: crypto.Hash(data)})); err != nil {
+		return err
+	}
+	s.pushData(dataMsg{Seq: seq, Data: data})
+	s.tryDeliver(seq, data)
+	return nil
+}
+
+// HandleRaw is the node's OnRawMessage hook (tier-2 data).
+func (s *Service) HandleRaw(_ atum.NodeID, msg any) {
+	m, ok := msg.(dataMsg)
+	if !ok {
+		return
+	}
+	if s.delivered[m.Seq] {
+		return
+	}
+	if want, ok := s.pendingDigest[m.Seq]; ok {
+		// Digest known: verify before storing or forwarding; corrupted
+		// copies die here.
+		if crypto.Hash(m.Data) != want {
+			return
+		}
+		s.pushData(m)
+		s.tryDeliver(m.Seq, m.Data)
+		return
+	}
+	// Digest still in flight: keep (and forward) up to maxCandidates
+	// distinct copies so a forged first copy cannot shadow the correct one.
+	for _, c := range s.pendingData[m.Seq] {
+		if bytes.Equal(c, m.Data) {
+			return // duplicate of a known candidate
+		}
+	}
+	if len(s.pendingData[m.Seq]) >= maxCandidates {
+		return
+	}
+	s.pendingData[m.Seq] = append(s.pendingData[m.Seq], m.Data)
+	s.pushData(m)
+}
+
+// pushData forwards a chunk to this node's vgroup members and neighbor
+// members (tier-2 links follow the overlay structure, §4.3).
+func (s *Service) pushData(m dataMsg) {
+	if s.node == nil {
+		return
+	}
+	self := s.node.Identity().ID
+	sent := map[atum.NodeID]bool{self: true}
+	send := func(id atum.NodeID) {
+		if !sent[id] && (s.opts.Fanout == 0 || len(sent)-1 < s.opts.Fanout) {
+			sent[id] = true
+			s.node.SendRaw(id, m)
+		}
+	}
+	for _, member := range s.node.GroupMembers() {
+		send(member.ID)
+	}
+	nbrs := s.node.Inner().Neighbors()
+	for c := 0; c < nbrs.NumCycles(); c++ {
+		for _, comp := range []int{0, 1} {
+			list := nbrs.Preds[c].Members
+			if comp == 1 {
+				list = nbrs.Succs[c].Members
+			}
+			for _, member := range list {
+				send(member.ID)
+			}
+		}
+	}
+}
+
+// deliverDigest processes tier-1 digests.
+func (s *Service) deliverDigest(d atum.Delivery) {
+	v, err := decodeStream(d.Data)
+	if err != nil {
+		return
+	}
+	m, ok := v.(digestMsg)
+	if !ok {
+		return
+	}
+	if _, seen := s.pendingDigest[m.Seq]; seen {
+		return
+	}
+	s.pendingDigest[m.Seq] = m.Digest
+	s.digestAt[m.Seq] = s.node.Now()
+	// Judge the buffered candidates: deliver the matching one (if any) and
+	// drop the rest.
+	for _, data := range s.pendingData[m.Seq] {
+		if crypto.Hash(data) == m.Digest {
+			s.tryDeliver(m.Seq, data)
+			break
+		}
+	}
+	delete(s.pendingData, m.Seq)
+}
+
+// tryDeliver hands a chunk to the application once its digest verified.
+func (s *Service) tryDeliver(seq uint64, data []byte) {
+	if s.delivered[seq] {
+		return
+	}
+	want, ok := s.pendingDigest[seq]
+	if !ok || crypto.Hash(data) != want {
+		return
+	}
+	s.delivered[seq] = true
+	s.deliveredAt[seq] = s.node.Now()
+	delete(s.pendingData, seq)
+	if s.opts.OnChunk != nil {
+		s.opts.OnChunk(Chunk{Seq: seq, Data: data})
+	}
+}
+
+// Delivered reports whether the chunk was verified and delivered.
+func (s *Service) Delivered(seq uint64) bool { return s.delivered[seq] }
+
+// TierTwoLatency returns deliveredAt − digestAt for a chunk: the latency the
+// second tier added on top of Atum's digest dissemination (Fig. 12's
+// metric), and whether the chunk was delivered.
+func (s *Service) TierTwoLatency(seq uint64) (time.Duration, bool) {
+	if !s.delivered[seq] {
+		return 0, false
+	}
+	dAt, ok := s.digestAt[seq]
+	if !ok {
+		return 0, false
+	}
+	lat := s.deliveredAt[seq] - dAt
+	if lat < 0 {
+		lat = 0
+	}
+	return lat, true
+}
+
+// DigestLatencyOf returns when the digest arrived (for total latency).
+func (s *Service) DigestLatencyOf(seq uint64) (time.Duration, bool) {
+	at, ok := s.digestAt[seq]
+	return at, ok
+}
+
+// --- codec ---
+
+var streamOnce sync.Once
+
+func registerStream() {
+	gob.Register(digestMsg{})
+	gob.Register(dataMsg{})
+}
+
+func encodeStream(v any) []byte {
+	streamOnce.Do(registerStream)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&streamEnvelope{V: v}); err != nil {
+		panic("astream: encode: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+func decodeStream(b []byte) (any, error) {
+	streamOnce.Do(registerStream)
+	var env streamEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&env); err != nil {
+		return nil, err
+	}
+	return env.V, nil
+}
+
+type streamEnvelope struct {
+	V any
+}

@@ -1,0 +1,160 @@
+package asub_test
+
+// Additional ASub coverage: independent topics as independent Atum
+// instances, many-subscriber fan-out, publisher ordering, and resubscribe
+// after unsubscribe.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"atum"
+	"atum/asub"
+)
+
+// topicCluster builds n participants for one topic on a fresh cluster.
+func topicCluster(t *testing.T, cluster *atum.SimCluster, topic string, n int) ([]*asub.Participant, map[int][]asub.Event) {
+	t.Helper()
+	events := make(map[int][]asub.Event)
+	var parts []*asub.Participant
+	for i := 0; i < n; i++ {
+		idx := i
+		cb, bind := asub.Wire(topic, asub.Options{
+			OnEvent: func(ev asub.Event) { events[idx] = append(events[idx], ev) },
+		})
+		node := cluster.AddNode(cb)
+		parts = append(parts, bind(node))
+	}
+	cluster.Run(10 * time.Millisecond)
+	if err := parts[0].CreateTopic(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range parts[1:] {
+		if err := p.Subscribe(parts[0].Identity()); err != nil {
+			t.Fatal(err)
+		}
+		if !cluster.RunUntil(p.Subscribed, 2*time.Minute) {
+			t.Fatal("subscribe timed out")
+		}
+	}
+	return parts, events
+}
+
+func TestTwoTopicsAreIsolated(t *testing.T) {
+	cluster := atum.NewSimCluster(atum.SimOptions{Seed: 33})
+	newsParts, newsEvents := topicCluster(t, cluster, "news", 3)
+	sportParts, sportEvents := topicCluster(t, cluster, "sport", 3)
+
+	if err := newsParts[0].Publish([]byte("election")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sportParts[0].Publish([]byte("final score")); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Run(15 * time.Second)
+
+	for i := 0; i < 3; i++ {
+		if len(newsEvents[i]) != 1 || string(newsEvents[i][0].Data) != "election" {
+			t.Errorf("news participant %d got %v", i, newsEvents[i])
+		}
+		if len(sportEvents[i]) != 1 || string(sportEvents[i][0].Data) != "final score" {
+			t.Errorf("sport participant %d got %v", i, sportEvents[i])
+		}
+	}
+}
+
+func TestManySubscribersFanOut(t *testing.T) {
+	cluster := atum.NewSimCluster(atum.SimOptions{Seed: 34})
+	parts, events := topicCluster(t, cluster, "wide", 10)
+
+	if err := parts[3].Publish([]byte("to everyone")); err != nil {
+		t.Fatal(err)
+	}
+	ok := cluster.RunUntil(func() bool {
+		for i := range parts {
+			if len(events[i]) == 0 {
+				return false
+			}
+		}
+		return true
+	}, time.Minute)
+	if !ok {
+		delivered := 0
+		for i := range parts {
+			if len(events[i]) > 0 {
+				delivered++
+			}
+		}
+		t.Fatalf("event reached %d/%d subscribers", delivered, len(parts))
+	}
+}
+
+func TestPublisherEventsArriveExactlyOnce(t *testing.T) {
+	cluster := atum.NewSimCluster(atum.SimOptions{Seed: 35})
+	parts, events := topicCluster(t, cluster, "once", 4)
+
+	const total = 5
+	for i := 0; i < total; i++ {
+		if err := parts[0].Publish([]byte(fmt.Sprintf("msg-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		cluster.Run(5 * time.Second)
+	}
+	cluster.Run(20 * time.Second)
+	for i := range parts {
+		if len(events[i]) != total {
+			t.Fatalf("participant %d delivered %d events, want %d", i, len(events[i]), total)
+		}
+		seen := make(map[string]bool)
+		for _, ev := range events[i] {
+			if seen[string(ev.Data)] {
+				t.Fatalf("participant %d delivered %q twice", i, ev.Data)
+			}
+			seen[string(ev.Data)] = true
+		}
+	}
+}
+
+func TestResubscribeAfterUnsubscribe(t *testing.T) {
+	cluster := atum.NewSimCluster(atum.SimOptions{Seed: 36})
+	parts, events := topicCluster(t, cluster, "return", 4)
+
+	leaver := parts[3]
+	if err := leaver.Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+	if !cluster.RunUntil(func() bool { return !leaver.Subscribed() }, time.Minute) {
+		t.Fatal("unsubscribe timed out")
+	}
+	if err := parts[0].Publish([]byte("while away")); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Run(10 * time.Second)
+
+	if err := leaver.Subscribe(parts[0].Identity()); err != nil {
+		t.Fatal(err)
+	}
+	if !cluster.RunUntil(leaver.Subscribed, 2*time.Minute) {
+		t.Fatal("resubscribe timed out")
+	}
+	if err := parts[1].Publish([]byte("welcome back")); err != nil {
+		t.Fatal(err)
+	}
+	ok := cluster.RunUntil(func() bool {
+		for _, ev := range events[3] {
+			if string(ev.Data) == "welcome back" {
+				return true
+			}
+		}
+		return false
+	}, time.Minute)
+	if !ok {
+		t.Fatalf("returning subscriber missed the new event: %v", events[3])
+	}
+	for _, ev := range events[3] {
+		if string(ev.Data) == "while away" {
+			t.Fatal("unsubscribed participant received a topic event")
+		}
+	}
+}

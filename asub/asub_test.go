@@ -1,0 +1,63 @@
+package asub_test
+
+import (
+	"testing"
+	"time"
+
+	"atum"
+	"atum/asub"
+)
+
+func TestTopicLifecycle(t *testing.T) {
+	cluster := atum.NewSimCluster(atum.SimOptions{Seed: 21})
+	events := make(map[int][]asub.Event)
+	var parts []*asub.Participant
+	for i := 0; i < 3; i++ {
+		idx := i
+		cb, bind := asub.Wire("news", asub.Options{
+			OnEvent: func(ev asub.Event) { events[idx] = append(events[idx], ev) },
+		})
+		n := cluster.AddNode(cb)
+		parts = append(parts, bind(n))
+	}
+	cluster.Run(10 * time.Millisecond)
+
+	if err := parts[0].CreateTopic(); err != nil {
+		t.Fatal(err)
+	}
+	if parts[0].Topic() != "news" {
+		t.Errorf("Topic = %q", parts[0].Topic())
+	}
+	for _, p := range parts[1:] {
+		if err := p.Subscribe(parts[0].Identity()); err != nil {
+			t.Fatal(err)
+		}
+		if !cluster.RunUntil(p.Subscribed, time.Minute) {
+			t.Fatal("subscribe timed out")
+		}
+	}
+	if err := parts[1].Publish([]byte("breaking")); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Run(15 * time.Second)
+	for i := 0; i < 3; i++ {
+		if len(events[i]) != 1 || string(events[i][0].Data) != "breaking" {
+			t.Errorf("participant %d events = %v", i, events[i])
+		}
+	}
+	// Unsubscribe stops delivery.
+	if err := parts[2].Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+	cluster.RunUntil(func() bool { return !parts[2].Subscribed() }, time.Minute)
+	if err := parts[0].Publish([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Run(15 * time.Second)
+	if len(events[2]) != 1 {
+		t.Errorf("unsubscribed participant received %d events, want 1", len(events[2]))
+	}
+	if len(events[0]) != 2 {
+		t.Errorf("subscribed participant received %d events, want 2", len(events[0]))
+	}
+}

@@ -1,0 +1,233 @@
+// Package atum is a group communication middleware for large, dynamic, and
+// hostile environments — a from-scratch Go implementation of "Atum: Scalable
+// Group Communication Using Volatile Groups" (Guerraoui, Kermarrec, Pavlovic,
+// Seredinschi — Middleware 2016).
+//
+// At its heart are volatile groups (vgroups): small, dynamic clusters of
+// nodes, each running Byzantine fault-tolerant state machine replication,
+// organized in an H-graph overlay. Faulty nodes are scattered evenly among
+// vgroups by random-walk shuffling and masked inside their vgroup; vgroup
+// sizes track the logarithm of the system size through splits and merges;
+// messages are disseminated by gossiping group messages across the overlay.
+//
+// The public API mirrors the paper's §3.3:
+//
+//	node := atum.NewNode(cfg)            // create a node
+//	node.Bootstrap()                     // first node: create the instance
+//	node.Join(contact)                   // everyone else: join via a contact
+//	node.Broadcast([]byte("hello"))      // disseminate to every node
+//	node.Leave()                         // leave the system
+//
+// Applications receive messages through Callbacks.Deliver and shape the
+// gossip phase through Callbacks.Forward. Three applications built on this
+// API ship with the repository: asub (publish/subscribe), ashare (file
+// sharing), and astream (data streaming).
+//
+// Nodes are actors: they run on a runtime that delivers messages and timers.
+// Two runtimes are provided — the deterministic discrete-event simulator
+// (atum.NewSimCluster, internal/simnet) used by the evaluation harness, and
+// a real-time goroutine runtime (atum.NewRealtimeRuntime) for deployment.
+package atum
+
+import (
+	"fmt"
+	"time"
+
+	"atum/internal/core"
+	"atum/internal/crypto"
+	"atum/internal/group"
+	"atum/internal/ids"
+	"atum/internal/simnet"
+	"atum/internal/smr"
+)
+
+// Re-exported configuration and callback types (stable public aliases of
+// the engine's types).
+type (
+	// Config configures one Atum node; see the field docs in internal/core.
+	Config = core.Config
+	// Params are the Table 1 overlay parameters (hc, rwl, gmin, gmax).
+	Params = core.Params
+	// Callbacks connect the application to the engine.
+	Callbacks = core.Callbacks
+	// Delivery is one delivered broadcast message.
+	Delivery = core.Delivery
+	// ForwardLink identifies an overlay link offered to the Forward callback.
+	ForwardLink = core.ForwardLink
+	// Event is an engine metrics event.
+	Event = core.Event
+	// EventKind enumerates engine metrics events.
+	EventKind = core.EventKind
+	// Behavior selects a node's (possibly Byzantine) behaviour.
+	Behavior = core.Behavior
+	// NodeID identifies a node.
+	NodeID = ids.NodeID
+	// Identity is a node's public identity.
+	Identity = ids.Identity
+	// GroupComposition is a vgroup's membership at one epoch (the value
+	// handed to Callbacks.OnJoined).
+	GroupComposition = group.Composition
+)
+
+// Re-exported constants.
+const (
+	// ModeSync selects the synchronous Dolev-Strong SMR engine.
+	ModeSync = smr.ModeSync
+	// ModeAsync selects the asynchronous PBFT SMR engine.
+	ModeAsync = smr.ModeAsync
+	// BehaviorCorrect follows the protocol.
+	BehaviorCorrect = core.BehaviorCorrect
+	// BehaviorSilent joins, then goes completely quiet.
+	BehaviorSilent = core.BehaviorSilent
+	// BehaviorHeartbeatOnly heartbeats and proposes spurious evictions.
+	BehaviorHeartbeatOnly = core.BehaviorHeartbeatOnly
+)
+
+// Re-exported engine event kinds.
+const (
+	// EventExchangeCompleted counts finished shuffle exchanges.
+	EventExchangeCompleted = core.EventExchangeCompleted
+	// EventExchangeSuppressed counts suppressed shuffle exchanges (Fig. 13).
+	EventExchangeSuppressed = core.EventExchangeSuppressed
+	// EventSplit counts vgroup splits.
+	EventSplit = core.EventSplit
+	// EventMerge counts vgroup merges.
+	EventMerge = core.EventMerge
+	// EventEviction counts evictions.
+	EventEviction = core.EventEviction
+	// EventShuffleDone counts completed whole-group shuffles.
+	EventShuffleDone = core.EventShuffleDone
+)
+
+// DefaultParams returns sensible Table 1 parameters for a medium system.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// Node is one Atum participant.
+type Node struct {
+	inner *core.Node
+}
+
+// NewNode creates a node from its configuration. Hand the node to a runtime
+// (SimCluster or RealtimeRuntime) before calling Bootstrap or Join.
+func NewNode(cfg Config) *Node { return &Node{inner: core.New(cfg)} }
+
+// Bootstrap creates a new Atum instance with this node as the only member.
+func (n *Node) Bootstrap() error { return n.inner.Bootstrap() }
+
+// Join joins an existing instance through a trusted contact node.
+func (n *Node) Join(contact Identity) error { return n.inner.Join(contact) }
+
+// Leave requests removal from the system.
+func (n *Node) Leave() error { return n.inner.Leave() }
+
+// Broadcast disseminates data to every node in the system.
+func (n *Node) Broadcast(data []byte) error { return n.inner.Broadcast(data) }
+
+// Identity returns this node's identity (with public key).
+func (n *Node) Identity() Identity { return n.inner.Identity() }
+
+// IsMember reports whether the node currently belongs to a vgroup.
+func (n *Node) IsMember() bool { return n.inner.IsMember() }
+
+// GroupSize returns the node's current vgroup size (0 if not a member).
+func (n *Node) GroupSize() int { return n.inner.Comp().N() }
+
+// GroupMembers returns the node's current vgroup member identities.
+func (n *Node) GroupMembers() []Identity { return n.inner.Comp().Members }
+
+// SendRaw sends an application-level message to another node (delivered to
+// its Config.OnRawMessage hook).
+func (n *Node) SendRaw(to NodeID, msg any) { n.inner.SendRaw(to, msg) }
+
+// Now returns the node's clock (virtual under simulation).
+func (n *Node) Now() time.Duration { return n.inner.Now() }
+
+// Inner exposes the engine node for advanced integrations (applications in
+// this module and the experiment harness).
+func (n *Node) Inner() *core.Node { return n.inner }
+
+// --- simulated cluster runtime ---
+
+// SimCluster runs Atum nodes on the deterministic discrete-event simulator:
+// the default way to experiment with Atum on one machine and the substrate
+// of the evaluation harness.
+type SimCluster struct {
+	Net    *simnet.Network
+	nextID uint64
+	mode   smr.Mode
+	tweak  func(*Config)
+}
+
+// SimOptions configures a SimCluster.
+type SimOptions struct {
+	// Seed makes runs reproducible.
+	Seed int64
+	// Mode selects the SMR engine (default ModeSync).
+	Mode smr.Mode
+	// NetConfig overrides the simulated network configuration.
+	NetConfig *simnet.Config
+	// Tweak, when set, adjusts each node's Config before creation.
+	Tweak func(*Config)
+}
+
+// NewSimCluster creates an empty simulated cluster.
+func NewSimCluster(opts SimOptions) *SimCluster {
+	if opts.Mode == 0 {
+		opts.Mode = smr.ModeSync
+	}
+	nc := simnet.Config{Seed: opts.Seed, Latency: simnet.LANLatency()}
+	if opts.NetConfig != nil {
+		nc = *opts.NetConfig
+	}
+	return &SimCluster{Net: simnet.New(nc), mode: opts.Mode, tweak: opts.Tweak}
+}
+
+// AddNode creates a node with test-friendly fast timers, registers it with
+// the simulated network, and returns it.
+func (c *SimCluster) AddNode(cb Callbacks) *Node { return c.AddNodeWith(cb, nil) }
+
+// AddNodeWith is AddNode with a per-node config mutation (applications use
+// it to install their OnRawMessage hook).
+func (c *SimCluster) AddNodeWith(cb Callbacks, mut func(*Config)) *Node {
+	c.nextID++
+	id := ids.NodeID(c.nextID)
+	cfg := Config{
+		Identity:       Identity{ID: id, Addr: fmt.Sprintf("sim:%d", id)},
+		SignerSeed:     []byte(fmt.Sprintf("sim-node-%d", id)),
+		Scheme:         crypto.SimScheme{},
+		Mode:           c.mode,
+		Params:         Params{HC: 3, RWL: 4, GMax: 8, GMin: 4},
+		RoundDuration:  100 * time.Millisecond,
+		HeartbeatEvery: time.Second,
+		EvictAfter:     6 * time.Second,
+		WalkTimeout:    5 * time.Second,
+		JoinTimeout:    10 * time.Second,
+		RequestTimeout: time.Second,
+		Callbacks:      cb,
+	}
+	if c.tweak != nil {
+		c.tweak(&cfg)
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	n := NewNode(cfg)
+	c.Net.Add(id, n.inner)
+	return n
+}
+
+// Run advances virtual time by d.
+func (c *SimCluster) Run(d time.Duration) { c.Net.Run(c.Net.Now() + d) }
+
+// RunUntil advances virtual time in small steps until cond holds or the
+// deadline passes; it reports whether cond held.
+func (c *SimCluster) RunUntil(cond func() bool, max time.Duration) bool {
+	deadline := c.Net.Now() + max
+	for !cond() && c.Net.Now() < deadline {
+		c.Net.Run(c.Net.Now() + 50*time.Millisecond)
+	}
+	return cond()
+}
+
+// Now returns the cluster's virtual time.
+func (c *SimCluster) Now() time.Duration { return c.Net.Now() }

@@ -1,0 +1,162 @@
+// Churn: Atum under continuous membership turnover (paper §6.1.2).
+//
+// A 24-node system sustains several minutes of churn — every few virtual
+// seconds one random node leaves and a new node joins — while a publisher
+// keeps broadcasting. The example prints the rolling membership, the
+// vgroup map, and verifies that every broadcast reaches every stable member
+// despite the turnover.
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"atum"
+)
+
+const (
+	baseSize    = 24
+	churnEvents = 30 // leave+join pairs
+	churnEvery  = 4 * time.Second
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "churn:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cluster := atum.NewSimCluster(atum.SimOptions{Seed: 7})
+	rng := rand.New(rand.NewSource(7))
+
+	delivered := make(map[atum.NodeID]map[string]bool)
+	newNode := func() *atum.Node {
+		var n *atum.Node
+		n = cluster.AddNode(atum.Callbacks{
+			Deliver: func(d atum.Delivery) {
+				id := n.Identity().ID
+				if delivered[id] == nil {
+					delivered[id] = make(map[string]bool)
+				}
+				delivered[id][string(d.Data)] = true
+			},
+		})
+		return n
+	}
+
+	// Grow the initial system.
+	nodes := []*atum.Node{newNode()}
+	cluster.Run(10 * time.Millisecond)
+	if err := nodes[0].Bootstrap(); err != nil {
+		return err
+	}
+	contact := nodes[0].Identity()
+	for len(nodes) < baseSize {
+		n := newNode()
+		if err := n.Join(contact); err != nil {
+			return err
+		}
+		if !cluster.RunUntil(n.IsMember, 2*time.Minute) {
+			return fmt.Errorf("initial join of %v timed out", n.Identity().ID)
+		}
+		nodes = append(nodes, n)
+	}
+	fmt.Printf("system grown to %d nodes at t=%v\n", len(nodes), cluster.Now().Round(time.Second))
+	printGroups(nodes)
+
+	// Continuous churn: a random non-publisher node leaves, a fresh one joins.
+	publisher := nodes[0]
+	bcasts := 0
+	for event := 0; event < churnEvents; event++ {
+		cluster.Run(churnEvery)
+
+		victim := nodes[1+rng.Intn(len(nodes)-1)]
+		if victim.IsMember() {
+			if err := victim.Leave(); err == nil {
+				cluster.RunUntil(func() bool { return !victim.IsMember() }, time.Minute)
+			}
+		}
+		for i, n := range nodes {
+			if n == victim {
+				nodes = append(nodes[:i], nodes[i+1:]...)
+				break
+			}
+		}
+		fresh := newNode()
+		if err := fresh.Join(contact); err != nil {
+			return err
+		}
+		if !cluster.RunUntil(fresh.IsMember, 2*time.Minute) {
+			return fmt.Errorf("churn join %d timed out", event)
+		}
+		nodes = append(nodes, fresh)
+
+		// The publisher keeps broadcasting through the turbulence; the
+		// freshly joined node must deliver too.
+		msg := fmt.Sprintf("update-%d", event)
+		if err := publisher.Broadcast([]byte(msg)); err != nil {
+			return err
+		}
+		bcasts++
+
+		if event%10 == 9 {
+			fmt.Printf("t=%-6v churned %d nodes so far, system size %d\n",
+				cluster.Now().Round(time.Second), event+1, len(nodes))
+		}
+	}
+
+	// Let the last broadcasts settle, then check delivery at every member.
+	cluster.Run(time.Minute)
+	printGroups(nodes)
+
+	lastMsg := fmt.Sprintf("update-%d", churnEvents-1)
+	got := 0
+	for _, n := range nodes {
+		if n.IsMember() && delivered[n.Identity().ID][lastMsg] {
+			got++
+		}
+	}
+	members := 0
+	for _, n := range nodes {
+		if n.IsMember() {
+			members++
+		}
+	}
+	fmt.Printf("\n%d broadcasts sent during churn; last one delivered at %d/%d current members\n",
+		bcasts, got, members)
+	rejoinsPerMin := int(time.Minute / churnEvery) // one leave+rejoin pair per churn tick
+	fmt.Printf("sustained churn: %d re-joins/min = %d%% of the %d-node system per minute (paper: 18%%/min Sync)\n",
+		rejoinsPerMin, 100*rejoinsPerMin/baseSize, baseSize)
+	return nil
+}
+
+// printGroups summarizes the vgroup map as the members see it.
+func printGroups(nodes []*atum.Node) {
+	sizes := make(map[int]int) // vgroup size -> count of vgroups
+	seen := make(map[uint64]bool)
+	for _, n := range nodes {
+		if !n.IsMember() {
+			continue
+		}
+		members := n.GroupMembers()
+		key := uint64(0)
+		for _, m := range members {
+			key = key*31 + uint64(m.ID)
+		}
+		if !seen[key] {
+			seen[key] = true
+			sizes[len(members)]++
+		}
+	}
+	fmt.Printf("vgroups by size: ")
+	for size, count := range sizes {
+		fmt.Printf("%d×(g=%d) ", count, size)
+	}
+	fmt.Println()
+}

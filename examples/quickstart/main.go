@@ -1,0 +1,62 @@
+// Quickstart: a five-node Atum instance on the in-process simulator.
+// The first node bootstraps, four more join through it, then one node
+// broadcasts and every member delivers the message.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"atum"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cluster := atum.NewSimCluster(atum.SimOptions{Seed: 42})
+
+	delivered := make(map[atum.NodeID]string)
+	var nodes []*atum.Node
+	for i := 0; i < 5; i++ {
+		var n *atum.Node
+		n = cluster.AddNode(atum.Callbacks{
+			Deliver: func(d atum.Delivery) {
+				delivered[n.Identity().ID] = string(d.Data)
+			},
+		})
+		nodes = append(nodes, n)
+	}
+	cluster.Run(10 * time.Millisecond)
+
+	// Bootstrap the instance, then join everyone else through node 1.
+	if err := nodes[0].Bootstrap(); err != nil {
+		return err
+	}
+	contact := nodes[0].Identity()
+	for _, n := range nodes[1:] {
+		if err := n.Join(contact); err != nil {
+			return err
+		}
+		if !cluster.RunUntil(n.IsMember, time.Minute) {
+			return fmt.Errorf("node %v did not join", n.Identity().ID)
+		}
+		fmt.Printf("node %v joined (vgroup size %d)\n", n.Identity().ID, n.GroupSize())
+	}
+
+	// Broadcast from node 3.
+	if err := nodes[2].Broadcast([]byte("hello, volatile groups!")); err != nil {
+		return err
+	}
+	cluster.Run(10 * time.Second)
+
+	for _, n := range nodes {
+		fmt.Printf("node %v delivered: %q\n", n.Identity().ID, delivered[n.Identity().ID])
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package actor
+
+import (
+	"testing"
+
+	"atum/internal/ids"
+)
+
+type sized struct{ n int }
+
+func (s sized) WireSize() int { return s.n }
+
+func TestSizeOf(t *testing.T) {
+	tests := []struct {
+		name string
+		msg  Message
+		want int
+	}{
+		{"sizer", sized{n: 42}, 42},
+		{"zero sizer", sized{n: 0}, 0},
+		{"plain struct", struct{ A int }{A: 1}, DefaultMessageSize},
+		{"string", "hello", DefaultMessageSize},
+		{"nil", nil, DefaultMessageSize},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := SizeOf(tt.msg); got != tt.want {
+				t.Fatalf("SizeOf(%v) = %d, want %d", tt.msg, got, tt.want)
+			}
+		})
+	}
+}
+
+// bookEnv is a fake Env with an address book.
+type bookEnv struct {
+	Env
+	addrs map[ids.NodeID]string
+}
+
+func (b *bookEnv) LearnAddr(id ids.NodeID, addr string) { b.addrs[id] = addr }
+
+// plainEnv is a fake Env without an address book.
+type plainEnv struct{ Env }
+
+func TestLearnIdentity(t *testing.T) {
+	b := &bookEnv{addrs: make(map[ids.NodeID]string)}
+
+	LearnIdentity(b, ids.Identity{ID: 3, Addr: "h:1"})
+	if b.addrs[3] != "h:1" {
+		t.Fatalf("addr not learned: %v", b.addrs)
+	}
+
+	// Blank address and zero ID are ignored.
+	LearnIdentity(b, ids.Identity{ID: 4})
+	LearnIdentity(b, ids.Identity{Addr: "h:2"})
+	if len(b.addrs) != 1 {
+		t.Fatalf("incomplete identities learned: %v", b.addrs)
+	}
+
+	// Envs without AddrBook and nil envs are no-ops, not panics.
+	LearnIdentity(&plainEnv{}, ids.Identity{ID: 5, Addr: "h:3"})
+	LearnIdentity(nil, ids.Identity{ID: 6, Addr: "h:4"})
+}

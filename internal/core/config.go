@@ -1,0 +1,264 @@
+// Package core implements the Atum engine: the protocol state machine each
+// node runs, tying together the group layer (vgroups + SMR), the overlay
+// layer (H-graph, gossip, random walks, shuffling, logarithmic grouping) and
+// the API operations (bootstrap, join, leave, broadcast) of paper §3.
+//
+// # Determinism architecture
+//
+// Every decision a vgroup takes — admitting a join, evicting a silent
+// member, forwarding a random walk, splitting — is driven by an operation
+// committed through the vgroup's SMR engine and applied by a deterministic
+// transition function, so all correct members act as one entity. Events that
+// enter a vgroup from outside (group messages) are injected as *vote
+// operations*: each member that observed the event proposes it, and the
+// transition fires once f+1 distinct members endorsed it — at least one of
+// them correct. Randomness the whole vgroup must agree on is derived from a
+// PRF seeded by the committed operation's digest, which is the same
+// pre-commitment idea as the paper's bulk RNG (§5.1).
+//
+// Membership changes are epoch barriers (SMART-style): the reconfiguration
+// op is the last op applied in its epoch; every member then restarts the SMR
+// engine with the new configuration, and unapplied proposals are re-issued.
+package core
+
+import (
+	"time"
+
+	"atum/internal/crypto"
+	"atum/internal/group"
+	"atum/internal/ids"
+	"atum/internal/smr"
+)
+
+// Params are the system parameters of Table 1.
+type Params struct {
+	// HC is the number of H-graph cycles (typical 2..12).
+	HC int
+	// RWL is the random-walk length (typical 4..15).
+	RWL int
+	// GMax is the maximum vgroup size before a split (8, 14, 20, ...).
+	GMax int
+	// GMin is the minimum vgroup size before a merge (typically GMax/2).
+	GMin int
+}
+
+// DefaultParams returns the parameters used for a small-to-medium system
+// (≈100 vgroups): hc=6, rwl=9 per the Fig. 4 guideline, gmax=8.
+func DefaultParams() Params {
+	return Params{HC: 6, RWL: 9, GMax: 8, GMin: 4}
+}
+
+// withDefaults fills unset fields.
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.HC <= 0 {
+		p.HC = d.HC
+	}
+	if p.RWL <= 0 {
+		p.RWL = d.RWL
+	}
+	if p.GMax <= 0 {
+		p.GMax = d.GMax
+	}
+	if p.GMin <= 0 {
+		p.GMin = p.GMax / 2
+	}
+	return p
+}
+
+// Behavior selects the fault behaviour of a node, for experiments (§6.1.3).
+type Behavior int
+
+// Node behaviours. Enums start at 1 so the zero value (unset) maps to the
+// default correct behaviour via normalization in New.
+const (
+	// BehaviorCorrect follows the protocol.
+	BehaviorCorrect Behavior = iota + 1
+	// BehaviorSilent is the Async-experiment Byzantine node: it joins, then
+	// stays completely quiet (sends nothing, ignores everything).
+	BehaviorSilent
+	// BehaviorHeartbeatOnly is the Sync-experiment Byzantine node: it
+	// participates in no protocol except (1) sending heartbeats to avoid
+	// eviction and (2) periodically proposing to evict correct members of
+	// its vgroup.
+	BehaviorHeartbeatOnly
+)
+
+// String implements fmt.Stringer.
+func (b Behavior) String() string {
+	switch b {
+	case BehaviorSilent:
+		return "silent"
+	case BehaviorHeartbeatOnly:
+		return "heartbeat-only"
+	default:
+		return "correct"
+	}
+}
+
+// WalkReplyMode selects how walk results travel back to the originating
+// vgroup (§5.1).
+type WalkReplyMode int
+
+// Walk reply modes.
+const (
+	// ReplyBackward relays the result through the visited vgroups in
+	// reverse (default for the synchronous engine: no signature
+	// verification on the critical path).
+	ReplyBackward WalkReplyMode = iota + 1
+	// ReplyCertificates has the target reply directly to the origin with a
+	// certificate chain appended (default for the asynchronous engine;
+	// chain size is linear in rwl).
+	ReplyCertificates
+)
+
+// String implements fmt.Stringer.
+func (m WalkReplyMode) String() string {
+	if m == ReplyCertificates {
+		return "certificates"
+	}
+	return "backward"
+}
+
+// Callbacks connects the engine to the application (§3.3).
+type Callbacks struct {
+	// Deliver is invoked exactly once per broadcast message delivered at
+	// this node (required).
+	Deliver func(d Delivery)
+	// Forward decides, per neighbor link, whether to forward a broadcast
+	// (nil = forward on every link, flooding all cycles).
+	Forward func(d Delivery, link ForwardLink) bool
+	// OnJoined fires when this node becomes a member of a vgroup.
+	OnJoined func(comp group.Composition)
+	// OnLeft fires when this node stops being a member (left, evicted, or
+	// moved by an exchange — in the exchange case OnJoined fires again).
+	OnLeft func(reason string)
+	// OnEvent, when set, receives engine-internal events for metrics
+	// (exchange completed/suppressed, split, merge, walk done...).
+	OnEvent func(ev Event)
+	// OnApply, when set, observes every state transition the node applies:
+	// (group, epoch, op content digest, op type). Intended for divergence
+	// detectors in tests; all correct members of a vgroup must report the
+	// same sequence per epoch.
+	OnApply func(gid uint64, epoch uint64, digest [32]byte, kind string)
+}
+
+// Delivery is one delivered broadcast.
+type Delivery struct {
+	BcastID crypto.Digest
+	Origin  ids.NodeID
+	Data    []byte
+	// Hops is the number of vgroup-to-vgroup hops the message travelled.
+	Hops int
+}
+
+// ForwardLink describes one outgoing overlay link offered to Forward.
+type ForwardLink struct {
+	Cycle    int
+	Succ     bool // true: successor direction, false: predecessor
+	Neighbor ids.GroupID
+}
+
+// Event is an engine-internal event for metrics collection.
+type Event struct {
+	Kind EventKind
+	Data int
+}
+
+// EventKind enumerates engine events.
+type EventKind int
+
+// Engine events.
+const (
+	// EventExchangeCompleted counts a finished shuffle exchange.
+	EventExchangeCompleted EventKind = iota + 1
+	// EventExchangeSuppressed counts an exchange suppressed because the
+	// partner vgroup was busy (Fig. 13).
+	EventExchangeSuppressed
+	// EventSplit counts a vgroup split.
+	EventSplit
+	// EventMerge counts a vgroup merge.
+	EventMerge
+	// EventEviction counts an eviction this node participated in.
+	EventEviction
+	// EventShuffleDone counts a completed whole-group shuffle.
+	EventShuffleDone
+)
+
+// Config configures one Atum node.
+type Config struct {
+	// Identity is this node's public identity. Required.
+	Identity ids.Identity
+	// SignerSeed deterministically derives the node's key pair. Required.
+	SignerSeed []byte
+	// Scheme is the signature scheme (crypto.Ed25519Scheme or
+	// crypto.SimScheme). Required.
+	Scheme crypto.Scheme
+	// Mode selects the SMR engine: smr.ModeSync (Dolev-Strong, rounds) or
+	// smr.ModeAsync (PBFT). Required.
+	Mode smr.Mode
+	// Params are the Table 1 overlay parameters.
+	Params Params
+	// RoundDuration is the lockstep round length for ModeSync (and the
+	// housekeeping tick for ModeAsync). Paper: 1–1.5 s.
+	RoundDuration time.Duration
+	// HeartbeatEvery is the heartbeat period (§5.1: coarse, e.g. one per
+	// minute in production; shorter in experiments).
+	HeartbeatEvery time.Duration
+	// EvictAfter is the silence duration after which members vote to evict.
+	EvictAfter time.Duration
+	// WalkTimeout bounds how long a vgroup waits for a walk reply.
+	WalkTimeout time.Duration
+	// JoinTimeout bounds each stage of the joiner-side protocol.
+	JoinTimeout time.Duration
+	// RequestTimeout is the PBFT progress timeout (ModeAsync).
+	RequestTimeout time.Duration
+	// ReplyMode selects the walk reply mechanism; defaults per Mode
+	// (sync→backward, async→certificates).
+	ReplyMode WalkReplyMode
+	// Behavior injects Byzantine behaviour for experiments.
+	Behavior Behavior
+	// DisableShuffle turns off post-reconfiguration shuffling (ablation).
+	DisableShuffle bool
+	// OnRawMessage, when set, receives node-level messages the engine does
+	// not recognize — the extension point applications (AShare chunk
+	// transfer, AStream tier-2 multicast) build their own protocols on.
+	OnRawMessage func(from ids.NodeID, msg any)
+	// Callbacks connect the application.
+	Callbacks Callbacks
+	// Logf, when set, receives debug logs.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	c.Params = c.Params.withDefaults()
+	if c.RoundDuration <= 0 {
+		c.RoundDuration = time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 10 * time.Second
+	}
+	if c.EvictAfter <= 0 {
+		c.EvictAfter = 6 * c.HeartbeatEvery
+	}
+	if c.WalkTimeout <= 0 {
+		c.WalkTimeout = 30 * time.Second
+	}
+	if c.JoinTimeout <= 0 {
+		c.JoinTimeout = 30 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Second
+	}
+	if c.Behavior == 0 {
+		c.Behavior = BehaviorCorrect
+	}
+	if c.ReplyMode == 0 {
+		if c.Mode == smr.ModeAsync {
+			c.ReplyMode = ReplyCertificates
+		} else {
+			c.ReplyMode = ReplyBackward
+		}
+	}
+	return c
+}

@@ -1,0 +1,449 @@
+package core
+
+// Failure-injection suite: message loss, partitions, simultaneous crashes,
+// and the join-concurrency regression. Each scenario also verifies the
+// divergence invariant (all members of a vgroup apply the same op sequence
+// per epoch) through an OnApply detector.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"atum/internal/crypto"
+	"atum/internal/ids"
+	"atum/internal/simnet"
+	"atum/internal/smr"
+)
+
+// runUntil advances virtual time until cond holds or max passes.
+func (h *harness) runUntil(cond func() bool, max time.Duration) bool {
+	deadline := h.net.Now() + max
+	for !cond() && h.net.Now() < deadline {
+		h.net.Run(h.net.Now() + 100*time.Millisecond)
+	}
+	return cond()
+}
+
+// newHarnessNet is newHarness with a custom simulated-network configuration.
+func newHarnessNet(t *testing.T, netCfg simnet.Config, cfgFn func(cfg *Config)) *harness {
+	t.Helper()
+	h := &harness{
+		t:         t,
+		net:       simnet.New(netCfg),
+		nodes:     make(map[ids.NodeID]*Node),
+		delivered: make(map[ids.NodeID][]string),
+		deliverAt: make(map[ids.NodeID]map[string]time.Duration),
+		events:    make(map[EventKind]int),
+		cfgFn:     cfgFn,
+	}
+	return h
+}
+
+// divergenceDetector records (group, epoch) -> node -> op digests and
+// reports forks: two members applying different sequences in one epoch.
+type divergenceDetector struct {
+	seqs map[string]map[ids.NodeID][]crypto.Digest
+}
+
+func newDivergenceDetector() *divergenceDetector {
+	return &divergenceDetector{seqs: make(map[string]map[ids.NodeID][]crypto.Digest)}
+}
+
+func (d *divergenceDetector) hook(id ids.NodeID) func(gid uint64, epoch uint64, dig [32]byte, kind string) {
+	return func(gid uint64, epoch uint64, dig [32]byte, kind string) {
+		k := fmt.Sprintf("%d/%d", gid, epoch)
+		if d.seqs[k] == nil {
+			d.seqs[k] = make(map[ids.NodeID][]crypto.Digest)
+		}
+		d.seqs[k][id] = append(d.seqs[k][id], crypto.Digest(dig))
+	}
+}
+
+// check fails the test if any two members diverge on a shared prefix.
+func (d *divergenceDetector) check(t *testing.T) {
+	t.Helper()
+	for key, byNode := range d.seqs {
+		var ref []crypto.Digest
+		var refID ids.NodeID
+		first := true
+		for id, seq := range byNode {
+			if first {
+				ref, refID, first = seq, id, false
+				continue
+			}
+			n := len(seq)
+			if len(ref) < n {
+				n = len(ref)
+			}
+			for i := 0; i < n; i++ {
+				if ref[i] != seq[i] {
+					t.Fatalf("epoch %s: op sequence diverges between %v and %v at index %d",
+						key, refID, id, i)
+				}
+			}
+		}
+	}
+}
+
+func TestConcurrentJoinsSameContact(t *testing.T) {
+	// Regression test: joiners racing through one contact used to deadlock
+	// when their redirects were lost to epoch churn — the queued admission
+	// was never drained and blocked all retries by op dedup (fixed by
+	// draining pendingJoins at reconfiguration barriers).
+	for _, mode := range []smr.Mode{smr.ModeSync, smr.ModeAsync} {
+		t.Run(mode.String(), func(t *testing.T) {
+			h := newHarness(t, mode, 77, nil)
+			first := h.addNode(mode)
+			h.net.Run(h.net.Now() + 10*time.Millisecond)
+			if err := first.Bootstrap(); err != nil {
+				t.Fatal(err)
+			}
+			contact := first.Identity()
+
+			const joiners = 6
+			var nodes []*Node
+			for i := 0; i < joiners; i++ {
+				n := h.addNode(mode)
+				nodes = append(nodes, n)
+			}
+			h.net.Run(h.net.Now() + 10*time.Millisecond)
+			for _, n := range nodes {
+				if err := n.Join(contact); err != nil {
+					t.Fatal(err)
+				}
+			}
+			deadline := h.net.Now() + 240*time.Second
+			allIn := func() bool {
+				for _, n := range nodes {
+					if !n.IsMember() {
+						return false
+					}
+				}
+				return true
+			}
+			for !allIn() && h.net.Now() < deadline {
+				h.net.Run(h.net.Now() + 100*time.Millisecond)
+				// The paper's liveness guarantee presumes clients re-request
+				// failed joins; re-issue for joiners whose attempt expired.
+				for _, n := range nodes {
+					if n.phase == phaseIdle || n.phase == phaseLeft {
+						_ = n.Join(contact)
+					}
+				}
+			}
+			if !allIn() {
+				for i, n := range nodes {
+					t.Logf("joiner %d member=%v phase=%v", i, n.IsMember(), n.phase)
+				}
+				t.Fatal("concurrent joins did not all complete")
+			}
+			h.checkMembershipConsistent()
+		})
+	}
+}
+
+func TestBroadcastSurvivesMessageLoss(t *testing.T) {
+	det := newDivergenceDetector()
+	h := newHarnessNet(t, simnet.Config{
+		Seed:     3,
+		Latency:  simnet.UniformLatency(time.Millisecond, 8*time.Millisecond),
+		LossProb: 0.02, // 2% of all messages silently vanish
+	}, func(cfg *Config) {
+		prev := cfg.Callbacks.OnApply
+		id := cfg.Identity.ID
+		hook := det.hook(id)
+		cfg.Callbacks.OnApply = func(g uint64, e uint64, d [32]byte, k string) {
+			hook(g, e, d, k)
+			if prev != nil {
+				prev(g, e, d, k)
+			}
+		}
+	})
+	nodes := h.bootstrapSystem(smr.ModeSync, 8, 90*time.Second)
+
+	if err := nodes[2].Broadcast([]byte("lossy-net")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := h.net.Now() + 60*time.Second
+	everyone := func() bool {
+		for _, n := range nodes {
+			if !n.IsMember() {
+				continue // churned by shuffling; deliveries follow membership
+			}
+			found := false
+			for _, msg := range h.delivered[n.cfg.Identity.ID] {
+				if msg == "lossy-net" {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	for !everyone() && h.net.Now() < deadline {
+		h.net.Run(h.net.Now() + 100*time.Millisecond)
+	}
+	if !everyone() {
+		t.Fatal("broadcast did not reach all members under 2% loss")
+	}
+	det.check(t)
+	h.checkMembershipConsistent()
+}
+
+func TestPartitionedMinorityEvictedThenRejoins(t *testing.T) {
+	h := newHarness(t, smr.ModeSync, 9, nil)
+	nodes := h.bootstrapSystem(smr.ModeSync, 5, 90*time.Second)
+
+	// Cut one node off (paper §2: isolated nodes are treated as faulty and
+	// counted against the fault bound).
+	victim := nodes[4]
+	vid := victim.cfg.Identity.ID
+	var rest []ids.NodeID
+	for _, n := range nodes[:4] {
+		rest = append(rest, n.cfg.Identity.ID)
+	}
+	h.net.SetPartitions([]ids.NodeID{vid}, rest)
+
+	deadline := h.net.Now() + 60*time.Second
+	evicted := func() bool {
+		for _, n := range nodes[:4] {
+			if n.IsMember() && n.Comp().Contains(vid) {
+				return false
+			}
+		}
+		return true
+	}
+	for !evicted() && h.net.Now() < deadline {
+		h.net.Run(h.net.Now() + 200*time.Millisecond)
+	}
+	if !evicted() {
+		t.Fatal("partitioned node was not evicted")
+	}
+	if h.events[EventEviction] == 0 {
+		t.Fatal("no eviction events emitted")
+	}
+
+	// Heal; the victim rejoins through any connected node.
+	h.net.Heal()
+	// The victim's own view still says "member of the old epoch"; the join
+	// API requires it to notice it is gone. Clients call Leave/Join; the
+	// engine also self-detects via heartbeat silence, but rejoin via Join
+	// after an explicit reset is the documented path.
+	h.net.Run(h.net.Now() + 5*time.Second)
+	back := func() bool { return victim.IsMember() && victim.Comp().N() >= 2 }
+	if !back() {
+		victim.phase = phaseLeft // simulate app-level restart after isolation
+		victim.st = nil
+		if err := victim.Join(nodes[0].Identity()); err != nil {
+			t.Fatal(err)
+		}
+		for !back() && h.net.Now() < deadline+120*time.Second {
+			h.net.Run(h.net.Now() + 200*time.Millisecond)
+		}
+	}
+	if !back() {
+		t.Fatal("victim did not rejoin after heal")
+	}
+	h.checkMembershipConsistent()
+}
+
+func TestCrashesWithinFaultBoundDoNotStopBroadcast(t *testing.T) {
+	h := newHarness(t, smr.ModeSync, 21, func(cfg *Config) {
+		// One big vgroup so the fault bound is easy to reason about:
+		// g = 9 tolerates f = 4 in sync mode.
+		cfg.Params = Params{HC: 2, RWL: 3, GMax: 12, GMin: 3}
+	})
+	nodes := h.bootstrapSystem(smr.ModeSync, 9, 120*time.Second)
+
+	// Crash two members (well within f=4).
+	h.net.Crash(nodes[7].cfg.Identity.ID)
+	h.net.Crash(nodes[8].cfg.Identity.ID)
+	h.net.Run(h.net.Now() + 2*time.Second)
+
+	if err := nodes[0].Broadcast([]byte("after-crashes")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := h.net.Now() + 60*time.Second
+	reached := func() int {
+		count := 0
+		for _, n := range nodes[:7] {
+			for _, msg := range h.delivered[n.cfg.Identity.ID] {
+				if msg == "after-crashes" {
+					count++
+					break
+				}
+			}
+		}
+		return count
+	}
+	for reached() < 7 && h.net.Now() < deadline {
+		h.net.Run(h.net.Now() + 100*time.Millisecond)
+	}
+	if got := reached(); got != 7 {
+		t.Fatalf("broadcast reached %d/7 surviving nodes", got)
+	}
+
+	// The crashed members are eventually evicted and the group shrinks.
+	evictDeadline := h.net.Now() + 120*time.Second
+	shrunk := func() bool {
+		for _, n := range nodes[:7] {
+			if !n.IsMember() {
+				continue
+			}
+			c := n.Comp()
+			if c.Contains(nodes[7].cfg.Identity.ID) || c.Contains(nodes[8].cfg.Identity.ID) {
+				return false
+			}
+		}
+		return true
+	}
+	for !shrunk() && h.net.Now() < evictDeadline {
+		h.net.Run(h.net.Now() + 500*time.Millisecond)
+	}
+	if !shrunk() {
+		t.Fatal("crashed members never evicted")
+	}
+	h.checkMembershipConsistent()
+}
+
+func TestLaggardCatchesUpAfterPartition(t *testing.T) {
+	// A member partitioned across an epoch change misses both the commit
+	// and the one-shot catch-up shares. After healing, its stale-epoch
+	// heartbeats must trigger snapshot re-shares from the up-to-date
+	// members, pulling it into the current epoch — without this
+	// anti-entropy it stays a permanent zombie (heartbeating but unable to
+	// participate).
+	h := newHarness(t, smr.ModeAsync, 41, func(cfg *Config) {
+		// One big group: no splits, so the laggard's group is the system.
+		cfg.Params = Params{HC: 2, RWL: 3, GMax: 12, GMin: 2}
+	})
+	nodes := h.bootstrapSystem(smr.ModeAsync, 5, 120*time.Second)
+
+	// Partition one member away.
+	laggard := nodes[4]
+	lagID := laggard.cfg.Identity.ID
+	var rest []ids.NodeID
+	for _, n := range nodes[:4] {
+		rest = append(rest, n.cfg.Identity.ID)
+	}
+	h.net.SetPartitions([]ids.NodeID{lagID}, rest)
+
+	// Epoch changes while the laggard is cut off: a new node joins.
+	joiner := h.addNode(smr.ModeAsync)
+	h.net.SetPartitions([]ids.NodeID{lagID},
+		append(append([]ids.NodeID(nil), rest...), joiner.cfg.Identity.ID))
+	h.net.Run(h.net.Now() + 10*time.Millisecond)
+	if err := joiner.Join(nodes[0].Identity()); err != nil {
+		t.Fatal(err)
+	}
+	if !h.runUntil(joiner.IsMember, 120*time.Second) {
+		t.Fatal("join during partition did not complete")
+	}
+	epochAhead := nodes[0].Comp().Epoch
+	if laggard.Comp().Epoch >= epochAhead {
+		t.Fatalf("laggard unexpectedly advanced: %d >= %d", laggard.Comp().Epoch, epochAhead)
+	}
+
+	// Heal: heartbeats from the laggard carry its stale epoch; members
+	// re-share the snapshot; the laggard catches up to the epoch barrier.
+	h.net.Heal()
+	caughtUp := func() bool {
+		return laggard.IsMember() && laggard.Comp().Epoch >= epochAhead
+	}
+	if !h.runUntil(caughtUp, 120*time.Second) {
+		t.Fatalf("laggard stuck at epoch %d, group at %d",
+			laggard.Comp().Epoch, nodes[0].Comp().Epoch)
+	}
+	h.checkMembershipConsistent()
+
+	// Barrier catch-up restores membership, but the laggard still lacks
+	// the sequence numbers committed mid-epoch while it was away, so it
+	// cannot execute in this epoch. Full participation returns at the
+	// next epoch barrier (here: the joiner leaves), whose snapshot it
+	// receives as a connected member.
+	if err := joiner.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	if !h.runUntil(func() bool { return !joiner.IsMember() }, 120*time.Second) {
+		t.Fatal("joiner's leave did not complete")
+	}
+	afterLeave := nodes[0].Comp().Epoch
+	if !h.runUntil(func() bool {
+		return laggard.IsMember() && laggard.Comp().Epoch >= afterLeave
+	}, 120*time.Second) {
+		t.Fatalf("laggard stuck at epoch %d after second barrier (group at %d)",
+			laggard.Comp().Epoch, nodes[0].Comp().Epoch)
+	}
+
+	// And it participates again: a broadcast from the laggard reaches the
+	// whole system, including the laggard itself.
+	if err := laggard.Broadcast([]byte("back-from-the-dead")); err != nil {
+		t.Fatal(err)
+	}
+	reached := func() bool {
+		for _, n := range nodes {
+			if !n.IsMember() {
+				continue
+			}
+			found := false
+			for _, m := range h.delivered[n.cfg.Identity.ID] {
+				if m == "back-from-the-dead" {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if !h.runUntil(reached, 120*time.Second) {
+		t.Fatal("laggard's broadcast did not reach the system after catch-up")
+	}
+	h.checkMembershipConsistent()
+}
+
+func TestTotalPartitionPreservesSafety(t *testing.T) {
+	// Split the system down the middle: no broadcast may be delivered with
+	// corrupted content or wrong attribution, and the vgroup state must not
+	// fork (safety holds even when liveness is lost, §2). This property
+	// belongs to the ASYNCHRONOUS engine: PBFT quorums (4 of 6) are
+	// unreachable in both halves, so neither commits. The synchronous
+	// engine's safety explicitly assumes a synchronous network — a severed
+	// vgroup exceeds its fault model, which is why the paper deploys Sync
+	// only inside a datacenter (§6).
+	det := newDivergenceDetector()
+	h := newHarness(t, smr.ModeAsync, 31, func(cfg *Config) {
+		hook := det.hook(cfg.Identity.ID)
+		cfg.Callbacks.OnApply = hook
+	})
+	nodes := h.bootstrapSystem(smr.ModeAsync, 6, 90*time.Second)
+
+	var a, b []ids.NodeID
+	for i, n := range nodes {
+		if i%2 == 0 {
+			a = append(a, n.cfg.Identity.ID)
+		} else {
+			b = append(b, n.cfg.Identity.ID)
+		}
+	}
+	h.net.SetPartitions(a, b)
+	if err := nodes[0].Broadcast([]byte("during-partition")); err != nil {
+		t.Fatal(err)
+	}
+	h.net.Run(h.net.Now() + 20*time.Second)
+	h.net.Heal()
+	h.net.Run(h.net.Now() + 30*time.Second)
+
+	det.check(t)
+	for id, msgs := range h.delivered {
+		for _, m := range msgs {
+			if m != "during-partition" {
+				t.Fatalf("node %v delivered unknown message %q", id, m)
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"time"
+
+	"atum/internal/crypto"
+	"atum/internal/group"
+	"atum/internal/ids"
+	"atum/internal/overlay"
+)
+
+// Broadcast disseminates a message to every node in the system (§3.3.4).
+// Phase one is Byzantine agreement inside the caller's vgroup (the bcastOp
+// below); phase two is gossip over the H-graph, shaped by the application's
+// Forward callback.
+func (n *Node) Broadcast(data []byte) error {
+	if n.phase != phaseMember || n.st == nil {
+		return ErrNotMember
+	}
+	n.opSeq++
+	id := crypto.Hash([]byte("atum-bcast"))
+	id = crypto.HashUint64(id, uint64(n.cfg.Identity.ID))
+	id = crypto.HashUint64(id, n.opSeq)
+	id = crypto.Hash(id[:], data)
+	n.proposeOp(bcastOp{BcastID: id, Origin: n.cfg.Identity.ID, Data: data})
+	return nil
+}
+
+// applyBcast delivers a committed broadcast inside the origin vgroup and
+// starts the gossip phase.
+func (n *Node) applyBcast(o bcastOp) {
+	if !n.markSeen(o.BcastID) {
+		return
+	}
+	d := Delivery{BcastID: o.BcastID, Origin: o.Origin, Data: o.Data, Hops: 0}
+	if n.cfg.Callbacks.Deliver != nil {
+		n.cfg.Callbacks.Deliver(d)
+	}
+	n.forwardGossip(d)
+}
+
+// handleGossip processes one gossip hop accepted from a neighboring vgroup.
+// No agreement is needed: members act independently but identically —
+// dedup by broadcast ID, deliver, and forward along links chosen by the
+// (deterministic by default) Forward callback.
+func (n *Node) handleGossip(acc group.Accepted, p gossipPayload) {
+	if !n.markSeen(p.BcastID) {
+		return
+	}
+	d := Delivery{BcastID: p.BcastID, Origin: p.Origin, Data: p.Data, Hops: p.Hops}
+	if n.cfg.Callbacks.Deliver != nil {
+		n.cfg.Callbacks.Deliver(d)
+	}
+	n.forwardGossip(d)
+}
+
+// forwardGossip offers every overlay link to the Forward callback and sends
+// this member's share of the chosen group messages. The default (nil
+// callback) floods all cycles in both directions, which is the
+// latency-optimal configuration the paper's ASub experiments use; AStream
+// restricts forwarding to one or two cycles (§6.3).
+func (n *Node) forwardGossip(d Delivery) {
+	st := n.st
+	if st == nil {
+		return
+	}
+	payload := encodePayload(gossipPayload{BcastID: d.BcastID, Origin: d.Origin, Data: d.Data, Hops: d.Hops + 1})
+	sent := make(map[group.Key]bool)
+	for c := 0; c < st.nbrs.NumCycles(); c++ {
+		for _, dir := range []overlay.Direction{overlay.Pred, overlay.Succ} {
+			nbr := st.nbrs.At(overlay.Link{Cycle: c, Dir: dir})
+			if nbr.GroupID == 0 || nbr.GroupID == st.comp.GroupID || sent[nbr.Key()] {
+				continue
+			}
+			link := ForwardLink{Cycle: c, Succ: dir == overlay.Succ, Neighbor: nbr.GroupID}
+			if n.cfg.Callbacks.Forward != nil && !n.cfg.Callbacks.Forward(d, link) {
+				continue
+			}
+			sent[nbr.Key()] = true
+			msgID := gossipMsgID(d.BcastID, st.comp, nbr.GroupID)
+			group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, nbr,
+				kindGossip, msgID, payload)
+		}
+	}
+}
+
+// applyNeighborUpdate installs a neighbor's reconfigured composition.
+func (n *Node) applyNeighborUpdate(p neighborUpdatePayload) {
+	if n.st == nil || p.NewComp.N() == 0 {
+		return
+	}
+	n.learnComp(p.NewComp)
+	n.st.nbrs.UpdateGroup(p.NewComp)
+}
+
+// applySetNeighbor re-points one overlay link (merge gap closing and split
+// insertion).
+func (n *Node) applySetNeighbor(p setNeighborPayload) {
+	if n.st == nil || p.Comp.N() == 0 {
+		return
+	}
+	n.learnComp(p.Comp)
+	n.st.nbrs.Set(overlay.Link{Cycle: p.Cycle, Dir: p.Dir}, p.Comp.Clone())
+}
+
+// applyCycleAssign gives this (freshly split) vgroup its position on one
+// cycle: unlink from the old position, adopt the new one.
+func (n *Node) applyCycleAssign(p cycleAssignPayload) {
+	st := n.st
+	if st == nil || p.Cycle < 0 || p.Cycle >= st.nbrs.NumCycles() {
+		return
+	}
+	n.learnComp(p.Pred)
+	n.learnComp(p.Succ)
+	oldPred := st.nbrs.Preds[p.Cycle]
+	oldSucc := st.nbrs.Succs[p.Cycle]
+	// Close the gap we leave behind (unless we were between the same
+	// groups already, or self-looped).
+	if oldPred.GroupID != st.comp.GroupID && oldPred.GroupID != p.Pred.GroupID {
+		pl := encodePayload(setNeighborPayload{Cycle: p.Cycle, Dir: overlay.Succ, Comp: oldSucc.Clone()})
+		group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, oldPred,
+			kindSetNeighbor, setNbrMsgID(st.comp, oldPred.GroupID, p.Cycle, overlay.Succ), pl)
+	}
+	if oldSucc.GroupID != st.comp.GroupID && oldSucc.GroupID != p.Succ.GroupID {
+		pl := encodePayload(setNeighborPayload{Cycle: p.Cycle, Dir: overlay.Pred, Comp: oldPred.Clone()})
+		group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, oldSucc,
+			kindSetNeighbor, setNbrMsgID(st.comp, oldSucc.GroupID, p.Cycle, overlay.Pred), pl)
+	}
+	st.nbrs.Preds[p.Cycle] = p.Pred.Clone()
+	st.nbrs.Succs[p.Cycle] = p.Succ.Clone()
+}
+
+func setNbrMsgID(src group.Composition, dst ids.GroupID, cycle int, dir overlay.Direction) crypto.Digest {
+	d := crypto.Hash([]byte("atum-setnbr"))
+	d = crypto.HashUint64(d, uint64(src.GroupID))
+	d = crypto.HashUint64(d, src.Epoch)
+	d = crypto.HashUint64(d, uint64(dst))
+	d = crypto.HashUint64(d, uint64(cycle)<<8|uint64(dir))
+	return d
+}
+
+// maybeRefreshSender heals stale neighbor views: when another vgroup
+// addresses us through an old epoch of our composition, members that
+// belonged to that epoch reply with the current composition, stamped with
+// the old epoch — which the sender can still validate. This bounds the
+// drift between heavily churning neighbor vgroups to about one epoch per
+// round trip; without it, simultaneous churn on both sides of a link can
+// starve it permanently (§7's "complications" in practice).
+func (n *Node) maybeRefreshSender(m group.GroupMsg) {
+	st := n.st
+	if st == nil || n.phase != phaseMember || n.byzActive() {
+		return
+	}
+	if m.DstGroup != st.comp.GroupID || m.DstEpoch == 0 || m.DstEpoch >= st.comp.Epoch {
+		return
+	}
+	oldKey := group.Key{GroupID: st.comp.GroupID, Epoch: m.DstEpoch}
+	oldComp, ok := n.comps[oldKey]
+	if !ok || !oldComp.Contains(n.cfg.Identity.ID) {
+		return // we cannot attest that epoch
+	}
+	srcKey := group.Key{GroupID: m.SrcGroup, Epoch: m.SrcEpoch}
+	now := n.env.Now()
+	if last, ok := n.freshSent[srcKey]; ok && now-last < 4*n.cfg.RoundDuration {
+		return
+	}
+	if len(n.freshSent) > 256 {
+		n.freshSent = make(map[group.Key]time.Duration)
+	}
+	n.freshSent[srcKey] = now
+	srcComp, ok := n.lookupComp(srcKey)
+	if !ok || srcComp.N() == 0 {
+		return
+	}
+	payload := encodePayload(neighborUpdatePayload{NewComp: st.comp.Clone()})
+	msgID := freshMsgID(st.comp, m.SrcGroup)
+	group.Send(n.sendGroupQuantized, n.env.Rand(), oldComp, n.cfg.Identity.ID, srcComp,
+		kindNeighborUpdate, msgID, payload)
+}
+
+func freshMsgID(cur group.Composition, to ids.GroupID) crypto.Digest {
+	d := crypto.Hash([]byte("atum-fresh"))
+	d = crypto.HashUint64(d, uint64(cur.GroupID))
+	d = crypto.HashUint64(d, cur.Epoch)
+	d = crypto.HashUint64(d, uint64(to))
+	return d
+}

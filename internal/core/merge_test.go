@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"atum/internal/smr"
+)
+
+// TestMergeOnShrink drives a two-vgroup system below GMin by leaving nodes
+// and verifies the survivors converge to one consistent vgroup (merge) with
+// broadcasts still flowing.
+func TestMergeOnShrink(t *testing.T) {
+	h := newHarness(t, smr.ModeSync, 13, func(cfg *Config) {
+		cfg.Params = Params{HC: 2, RWL: 2, GMax: 4, GMin: 3}
+		cfg.DisableShuffle = true
+	})
+	nodes := h.bootstrapSystem(smr.ModeSync, 6, 120*time.Second) // splits into 2 groups of 3
+	h.net.Run(h.net.Now() + 10*time.Second)
+	if len(h.groupsOf()) < 2 {
+		t.Skip("no split occurred at this seed; merge path exercised elsewhere")
+	}
+	// Leave two members of one group: it shrinks below GMin and must merge.
+	groups := h.groupsOf()
+	var leavers []*Node
+	for _, members := range groups {
+		if len(members) >= 2 {
+			for _, id := range members[:2] {
+				leavers = append(leavers, h.nodes[id])
+			}
+			break
+		}
+	}
+	for _, l := range leavers {
+		_ = l.Leave()
+		deadline := h.net.Now() + 60*time.Second
+		for l.IsMember() && h.net.Now() < deadline {
+			h.net.Run(h.net.Now() + 100*time.Millisecond)
+		}
+	}
+	h.net.Run(h.net.Now() + 60*time.Second)
+	h.checkMembershipConsistent()
+	members := h.memberCount()
+	if members < 4 {
+		t.Fatalf("members = %d, want >= 4 after two leaves", members)
+	}
+	// Broadcast still reaches every survivor.
+	var origin *Node
+	for _, n := range nodes {
+		if n.IsMember() {
+			origin = n
+			break
+		}
+	}
+	if err := origin.Broadcast([]byte("post-merge")); err != nil {
+		t.Fatal(err)
+	}
+	h.net.Run(h.net.Now() + 20*time.Second)
+	for _, n := range nodes {
+		if !n.IsMember() {
+			continue
+		}
+		found := false
+		for _, m := range h.delivered[n.cfg.Identity.ID] {
+			if m == "post-merge" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("member %v missed post-merge broadcast", n.cfg.Identity.ID)
+		}
+	}
+}

@@ -1,0 +1,715 @@
+package core
+
+import (
+	"time"
+
+	"atum/internal/actor"
+	"atum/internal/crypto"
+	"atum/internal/group"
+	"atum/internal/ids"
+	"atum/internal/overlay"
+	"atum/internal/smr"
+	"atum/internal/smr/dolev"
+	"atum/internal/smr/pbft"
+)
+
+// phase is the lifecycle phase of a node.
+type phase int
+
+const (
+	phaseIdle phase = iota + 1
+	phaseJoining
+	phaseAwaitSnapshot
+	phaseMember
+	phaseLeft
+)
+
+// joinStage tracks the joiner-side protocol (§3.3.2).
+type joinStage int
+
+const (
+	stageContact    joinStage = iota + 1 // JoinContact sent, awaiting ContactInfo
+	stageRequestedC                      // JoinRequest sent to contact vgroup, awaiting redirect
+	stageRequestedD                      // JoinRequest sent to target vgroup, awaiting snapshot
+)
+
+type joinContext struct {
+	contact     ids.Identity
+	stage       joinStage
+	contactComp group.Composition
+	target      group.Composition
+	deadline    time.Duration
+	attempts    int
+}
+
+// timer payloads
+type tickTimer struct{}
+
+type smrTimer struct {
+	epoch uint64
+	data  any
+}
+
+// bounds for local memory-control queues.
+const (
+	maxApplied   = 1 << 14
+	maxSeen      = 1 << 13
+	maxComps     = 1 << 12
+	maxPen       = 2048
+	inboxTTL     = 5 * time.Minute
+	maxJoinTries = 8
+)
+
+// Node is one Atum protocol node: an actor.Node implementing the full
+// engine. Create with New, hand to a runtime, then call Bootstrap or Join.
+type Node struct {
+	cfg    Config
+	env    actor.Env
+	signer crypto.Signer
+
+	phase        phase
+	st           *groupState
+	replica      smr.Replica
+	replicaEpoch uint64
+
+	inbox *group.Inbox
+	comps map[group.Key]group.Composition
+	compQ []group.Key
+	// latestComp tracks the newest known composition per group, used as an
+	// epoch-tolerant fallback when validating group messages from epochs we
+	// have not learned yet (heavy churn can outrun neighbor updates).
+	latestComp map[ids.GroupID]group.Composition
+
+	ownPend map[crypto.Digest]smr.Operation
+	opSeq   uint64
+
+	round        uint64
+	outQ         []queuedSend
+	lastHB       time.Duration
+	hbSeen       map[ids.NodeID]time.Duration
+	evProp       map[ids.NodeID]uint64 // eviction proposed for target at epoch
+	byzEvictLast time.Duration
+
+	seen  map[crypto.Digest]bool
+	seenQ []crypto.Digest
+
+	join           *joinContext
+	awaitDeadline  time.Duration // phaseAwaitSnapshot orphan recovery
+	expectSnapshot map[ids.GroupID]bool
+	pendingSnaps   map[ids.GroupID]group.Accepted
+	// snapShares tallies per-sender snapshot shares addressed to this node
+	// as a *member* — the epoch catch-up path. Keyed by the attesting
+	// (group, epoch) and payload digest; adoption fires at f+1 matching
+	// shares with at least one full payload.
+	snapShares map[snapShareKey]*snapTally
+	// recentSnaps caches this node's recent outgoing snapshot payloads by
+	// the epoch that attests them, for heartbeat-triggered re-shares:
+	// catch-up shares are sent once, and a laggard partitioned at exactly
+	// the wrong moment would otherwise miss them forever (its heartbeats
+	// keep it un-evicted, but it cannot participate — a permanent zombie).
+	recentSnaps map[uint64][]byte
+	// reShared rate-limits catch-up re-shares per laggard.
+	reShared      map[ids.NodeID]time.Duration
+	walkDeadlines map[crypto.Digest]time.Duration
+	lastChains    map[crypto.Digest][]overlay.StepCert // member-local cert chains
+	mergeRetryAt  time.Duration
+	shuffleNextAt time.Duration // local pacing of shuffle exchanges
+	lastPrune     time.Duration
+	freshSent     map[group.Key]time.Duration // freshness-reply rate limiting
+
+	// pen buffers SMR envelopes for configurations not installed yet.
+	pen map[group.Key][]penMsg
+
+	stopped bool
+}
+
+type queuedSend struct {
+	to  ids.NodeID
+	msg actor.Message
+}
+
+type penMsg struct {
+	from ids.NodeID
+	msg  any
+}
+
+// snapShareKey identifies one attested snapshot in the catch-up tally.
+type snapShareKey struct {
+	src    group.Key
+	digest crypto.Digest
+}
+
+// snapTally accumulates snapshot shares for the epoch catch-up path.
+type snapTally struct {
+	senders map[ids.NodeID]bool
+	payload []byte
+}
+
+// maxSnapShares bounds the catch-up tally size.
+const maxSnapShares = 64
+
+var _ actor.Node = (*Node)(nil)
+
+// New creates a node from its configuration.
+func New(cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	registerGob()
+	n := &Node{
+		cfg:            cfg,
+		signer:         cfg.Scheme.NewSigner(cfg.SignerSeed),
+		phase:          phaseIdle,
+		comps:          make(map[group.Key]group.Composition),
+		ownPend:        make(map[crypto.Digest]smr.Operation),
+		hbSeen:         make(map[ids.NodeID]time.Duration),
+		evProp:         make(map[ids.NodeID]uint64),
+		seen:           make(map[crypto.Digest]bool),
+		latestComp:     make(map[ids.GroupID]group.Composition),
+		expectSnapshot: make(map[ids.GroupID]bool),
+		pendingSnaps:   make(map[ids.GroupID]group.Accepted),
+		walkDeadlines:  make(map[crypto.Digest]time.Duration),
+		lastChains:     make(map[crypto.Digest][]overlay.StepCert),
+		freshSent:      make(map[group.Key]time.Duration),
+		pen:            make(map[group.Key][]penMsg),
+		snapShares:     make(map[snapShareKey]*snapTally),
+		recentSnaps:    make(map[uint64][]byte),
+		reShared:       make(map[ids.NodeID]time.Duration),
+	}
+	n.inbox = group.NewInbox(n.lookupComp)
+	return n
+}
+
+// Identity returns the node's identity with the signer's public key filled in.
+func (n *Node) Identity() ids.Identity {
+	id := n.cfg.Identity
+	id.PubKey = n.signer.Public()
+	return id
+}
+
+// Comp returns the node's current vgroup composition (zero if not a member).
+func (n *Node) Comp() group.Composition {
+	if n.st == nil {
+		return group.Composition{}
+	}
+	return n.st.comp.Clone()
+}
+
+// IsMember reports whether the node is currently a vgroup member.
+func (n *Node) IsMember() bool { return n.phase == phaseMember && n.st != nil }
+
+// Neighbors returns a copy of the node's overlay view (for tests/metrics).
+func (n *Node) Neighbors() overlay.Neighbors {
+	if n.st == nil {
+		return overlay.Neighbors{}
+	}
+	return n.st.nbrs.Clone()
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf("[%v] "+format, append([]any{n.cfg.Identity.ID}, args...)...)
+	}
+}
+
+func (n *Node) emit(kind EventKind, data int) {
+	if n.cfg.Callbacks.OnEvent != nil {
+		n.cfg.Callbacks.OnEvent(Event{Kind: kind, Data: data})
+	}
+}
+
+// byzActive reports whether Byzantine behaviour is currently in force: the
+// experiment nodes join correctly, then misbehave.
+func (n *Node) byzActive() bool {
+	return n.cfg.Behavior != BehaviorCorrect && n.phase == phaseMember
+}
+
+// --- actor.Node ---
+
+// Start implements actor.Node.
+func (n *Node) Start(env actor.Env) {
+	n.env = env
+	// Align ticks on global multiples of RoundDuration so vgroup members
+	// share round boundaries (the virtual clock is global; real clocks are
+	// assumed loosely synchronized, as the paper's Sync deployment does).
+	delay := n.cfg.RoundDuration - env.Now()%n.cfg.RoundDuration
+	env.SetTimer(delay, tickTimer{})
+	if n.join != nil && n.phase == phaseJoining {
+		n.startJoinAttempt() // Join was requested before the runtime started
+	}
+}
+
+// Stop implements actor.Node.
+func (n *Node) Stop() {
+	n.stopped = true
+	if n.replica != nil {
+		n.replica.Stop()
+	}
+}
+
+// Timer implements actor.Node.
+func (n *Node) Timer(_ actor.TimerID, data any) {
+	if n.stopped {
+		return
+	}
+	switch t := data.(type) {
+	case tickTimer:
+		n.handleTick()
+	case smrTimer:
+		if n.replica != nil && t.epoch == n.replicaEpoch && !n.byzActive() {
+			n.replica.HandleTimer(t.data)
+		}
+	}
+}
+
+// Receive implements actor.Node.
+func (n *Node) Receive(from ids.NodeID, msg actor.Message) {
+	if n.stopped {
+		return
+	}
+	if n.byzActive() && n.cfg.Behavior == BehaviorSilent {
+		return // fully quiet: ignores everything
+	}
+	switch m := msg.(type) {
+	case Heartbeat:
+		n.handleHeartbeat(from, m)
+	case SMREnvelope:
+		n.handleSMREnvelope(from, m)
+	case JoinContact:
+		n.handleJoinContact(from, m)
+	case ContactInfo:
+		n.handleContactInfo(from, m)
+	case JoinRequest:
+		n.handleJoinRequest(from, m)
+	case Renounce:
+		n.handleRenounce(from, m)
+	case group.GroupMsg:
+		n.maybeRefreshSender(m)
+		n.routeGroupMsg(from, m)
+	default:
+		if n.cfg.OnRawMessage != nil {
+			n.cfg.OnRawMessage(from, msg)
+		}
+	}
+}
+
+func (n *Node) routeGroupMsg(from ids.NodeID, m group.GroupMsg) {
+	if m.Kind == kindSnapshot && n.observeCatchUpShare(from, m) {
+		return
+	}
+	if n.cfg.ReplyMode == ReplyCertificates {
+		// Certificate-mode direct replies cannot be majority-validated
+		// (the receiver does not know the sender vgroup yet); the
+		// chain itself authenticates them.
+		switch m.Kind {
+		case kindWalkResult:
+			n.handleDirectWalkReply(m)
+			return
+		case kindJoinRedirect:
+			n.handleDirectRedirect(m)
+			return
+		}
+	}
+	if acc, ok := n.inbox.Observe(n.env.Now(), from, m); ok {
+		n.handleAccepted(acc)
+	}
+}
+
+// SendRaw sends an application-level message directly to another node; the
+// receiver's OnRawMessage hook gets it. Applications layer their own
+// protocols (file chunks, stream data) on this.
+func (n *Node) SendRaw(to ids.NodeID, msg any) {
+	if n.env != nil && !n.stopped {
+		n.sendNow(to, msg)
+	}
+}
+
+// SetBehavior switches the node's behaviour (experiment fault injection;
+// Byzantine behaviours activate once the node is a vgroup member).
+func (n *Node) SetBehavior(b Behavior) { n.cfg.Behavior = b }
+
+// Now returns the node's clock (virtual in simulation).
+func (n *Node) Now() time.Duration {
+	if n.env == nil {
+		return 0
+	}
+	return n.env.Now()
+}
+
+// --- tick ---
+
+func (n *Node) handleTick() {
+	now := n.env.Now()
+	n.round = uint64(now / n.cfg.RoundDuration)
+	n.env.SetTimer(n.cfg.RoundDuration, tickTimer{})
+
+	// Flush round-quantized group messages (synchronous mode: one overlay
+	// hop per round, like the paper's round-based Sync implementation).
+	out := n.outQ
+	n.outQ = nil
+	for _, q := range out {
+		n.env.Send(q.to, q.msg)
+	}
+
+	if n.cfg.Mode == smr.ModeSync && n.replica != nil && !n.byzActive() {
+		n.replica.Tick(n.round)
+	}
+
+	if n.phase == phaseMember && n.st != nil {
+		n.heartbeatTick(now)
+		if !n.byzActive() {
+			n.walkDeadlineTick(now)
+			n.mergeRetryTick(now)
+			n.shuffleProposeTick(now)
+		} else if n.cfg.Behavior == BehaviorHeartbeatOnly {
+			n.byzEvictTick(now)
+		}
+	}
+	if n.join != nil && now > n.join.deadline {
+		n.retryJoin()
+	}
+	if n.phase == phaseAwaitSnapshot && n.awaitDeadline > 0 && now > n.awaitDeadline {
+		// Orphaned mid-move (the destination vgroup never sent our
+		// snapshot): disown any phantom membership, then rejoin through
+		// any node we expected the snapshot from.
+		n.awaitDeadline = 0
+		var contact ids.Identity
+		for gid := range n.expectSnapshot {
+			if c, ok := n.latestComp[gid]; ok && c.N() > 0 {
+				n.sendRenounce(c)
+				if contact.ID == 0 {
+					contact = c.Members[0]
+				}
+			}
+		}
+		if contact.ID != 0 {
+			n.phase = phaseIdle
+			n.expectSnapshot = make(map[ids.GroupID]bool)
+			if err := n.Join(contact); err != nil {
+				n.logf("orphan rejoin: %v", err)
+			}
+			return
+		}
+		n.phase = phaseLeft
+		if n.cfg.Callbacks.OnLeft != nil {
+			n.cfg.Callbacks.OnLeft("orphaned")
+		}
+	}
+	if now-n.lastPrune > inboxTTL/2 {
+		n.lastPrune = now
+		n.inbox.Prune(now - inboxTTL)
+	}
+}
+
+func (n *Node) heartbeatTick(now time.Duration) {
+	if now-n.lastHB < n.cfg.HeartbeatEvery {
+		return
+	}
+	n.lastHB = now
+	hb := Heartbeat{GroupID: n.st.comp.GroupID, Epoch: n.st.comp.Epoch}
+	for _, m := range n.st.comp.Members {
+		if m.ID != n.cfg.Identity.ID {
+			n.env.Send(m.ID, hb)
+		}
+	}
+	if n.byzActive() {
+		return // Byzantine nodes do not evict-vote through this path
+	}
+	// Evict silent peers (§5.1): one vote per (target, epoch); eviction
+	// fires at f+1 votes.
+	for _, m := range n.st.comp.Members {
+		if m.ID == n.cfg.Identity.ID {
+			continue
+		}
+		last, ok := n.hbSeen[m.ID]
+		if !ok {
+			n.hbSeen[m.ID] = now
+			continue
+		}
+		if now-last > n.cfg.EvictAfter && n.evProp[m.ID] != n.st.comp.Epoch {
+			n.evProp[m.ID] = n.st.comp.Epoch
+			n.proposeOp(evictVoteOp{GroupID: n.st.comp.GroupID, Target: m.ID, Epoch: n.st.comp.Epoch})
+		}
+	}
+}
+
+// byzEvictTick implements the Sync-experiment Byzantine behaviour: pretend
+// correct members are silent and propose to evict them all.
+func (n *Node) byzEvictTick(now time.Duration) {
+	if now-n.byzEvictLast < n.cfg.EvictAfter {
+		return
+	}
+	n.byzEvictLast = now
+	for _, m := range n.st.comp.Members {
+		if m.ID != n.cfg.Identity.ID {
+			n.proposeOp(evictVoteOp{GroupID: n.st.comp.GroupID, Target: m.ID, Epoch: n.st.comp.Epoch})
+		}
+	}
+}
+
+func (n *Node) handleHeartbeat(from ids.NodeID, m Heartbeat) {
+	if n.st == nil || m.GroupID != n.st.comp.GroupID {
+		return
+	}
+	if n.st.comp.Contains(from) {
+		n.hbSeen[from] = n.env.Now()
+		if m.Epoch < n.st.comp.Epoch && !n.byzActive() {
+			n.reShareSnapshot(from, m.Epoch)
+		}
+	}
+}
+
+// reShareSnapshot re-sends this node's share of an epoch snapshot to a
+// member whose heartbeat shows it stuck at an older epoch — anti-entropy
+// for the one-shot catch-up shares, which a partition can swallow entirely.
+// Rate-limited per laggard; only epochs still cached are re-shared.
+func (n *Node) reShareSnapshot(to ids.NodeID, stuckEpoch uint64) {
+	payload, ok := n.recentSnaps[stuckEpoch]
+	if !ok {
+		return
+	}
+	oldComp, ok := n.lookupComp(group.Key{GroupID: n.st.comp.GroupID, Epoch: stuckEpoch})
+	if !ok || !oldComp.Contains(n.cfg.Identity.ID) {
+		return // cannot attest an epoch this node was not part of
+	}
+	now := n.env.Now()
+	if last, ok := n.reShared[to]; ok && now-last < 4*n.cfg.RoundDuration {
+		return
+	}
+	if len(n.reShared) > 256 {
+		n.reShared = make(map[ids.NodeID]time.Duration)
+	}
+	n.reShared[to] = now
+	group.SendToNode(n.sendNow, oldComp, n.cfg.Identity.ID, to,
+		kindSnapshot, snapMsgID(oldComp, to), payload)
+}
+
+// --- sending ---
+
+// sendGroupQuantized is the SendFn for inter-group traffic: in synchronous
+// mode sends are deferred to the next round boundary.
+func (n *Node) sendGroupQuantized(to ids.NodeID, msg actor.Message) {
+	if n.byzActive() {
+		return
+	}
+	if n.cfg.Mode == smr.ModeSync {
+		n.outQ = append(n.outQ, queuedSend{to: to, msg: msg})
+		return
+	}
+	n.env.Send(to, msg)
+}
+
+// sendNow bypasses round quantization (SMR-internal traffic and node-level
+// handshakes).
+func (n *Node) sendNow(to ids.NodeID, msg actor.Message) {
+	if n.byzActive() && n.cfg.Behavior == BehaviorSilent {
+		return
+	}
+	n.env.Send(to, msg)
+}
+
+// --- composition cache ---
+
+func (n *Node) lookupComp(k group.Key) (group.Composition, bool) {
+	if n.st != nil && n.st.comp.Key() == k {
+		return n.st.comp, true
+	}
+	if c, ok := n.comps[k]; ok {
+		return c, ok
+	}
+	// Epoch-tolerant fallback: exchanges change one member per epoch, so a
+	// recent composition of the same vgroup still shares a correct majority
+	// with the claimed one. Without this, simultaneous churn on both sides
+	// of a link can kill it permanently (updates chase a moving target).
+	if c, ok := n.latestComp[k.GroupID]; ok {
+		diff := int64(k.Epoch) - int64(c.Epoch)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff <= 16 {
+			return c, true
+		}
+	}
+	return group.Composition{}, false
+}
+
+// learnComp records a composition for inbox validation and flushes any
+// group messages that were waiting for it.
+func (n *Node) learnComp(c group.Composition) {
+	if c.IsZero() || c.GroupID == 0 {
+		return
+	}
+	for _, m := range c.Members {
+		actor.LearnIdentity(n.env, m)
+	}
+	if cur, ok := n.latestComp[c.GroupID]; !ok || c.Epoch > cur.Epoch {
+		n.latestComp[c.GroupID] = c.Clone()
+	}
+	k := c.Key()
+	if _, ok := n.comps[k]; ok {
+		return
+	}
+	n.comps[k] = c.Clone()
+	n.compQ = append(n.compQ, k)
+	if len(n.compQ) > maxComps {
+		drop := n.compQ[0]
+		n.compQ = n.compQ[1:]
+		delete(n.comps, drop)
+	}
+	for _, acc := range n.inbox.FlushKey(n.env.Now(), k) {
+		n.handleAccepted(acc)
+	}
+}
+
+func (n *Node) markSeen(d crypto.Digest) bool {
+	if n.seen[d] {
+		return false
+	}
+	n.seen[d] = true
+	n.seenQ = append(n.seenQ, d)
+	if len(n.seenQ) > maxSeen {
+		drop := n.seenQ[0]
+		n.seenQ = n.seenQ[1:]
+		delete(n.seen, drop)
+	}
+	return true
+}
+
+// --- SMR plumbing ---
+
+func (n *Node) handleSMREnvelope(from ids.NodeID, m SMREnvelope) {
+	if n.byzActive() {
+		return // Byzantine nodes do not participate in agreement
+	}
+	if n.st != nil && n.replica != nil &&
+		m.GroupID == n.st.comp.GroupID && m.Epoch == n.replicaEpoch {
+		n.replica.Receive(from, m.Inner)
+		return
+	}
+	// Buffer messages for configurations we have not installed yet (our
+	// members may reconfigure a moment before us, or our snapshot is still
+	// in flight).
+	k := group.Key{GroupID: m.GroupID, Epoch: m.Epoch}
+	if n.st != nil && m.GroupID == n.st.comp.GroupID && m.Epoch <= n.replicaEpoch {
+		return // stale epoch
+	}
+	if len(n.pen[k]) < maxPen {
+		n.pen[k] = append(n.pen[k], penMsg{from: from, msg: m.Inner})
+	}
+}
+
+// makeReplica builds the SMR replica for the current composition.
+func (n *Node) makeReplica() {
+	comp := n.st.comp
+	epoch := comp.Epoch
+	n.replicaEpoch = epoch
+	cfg := smr.Config{
+		GroupID: comp.GroupID,
+		Epoch:   epoch,
+		Members: comp.Members,
+		Self:    n.cfg.Identity.ID,
+		Scheme:  n.cfg.Scheme,
+		Signer:  n.signer,
+		Send: func(to ids.NodeID, msg actor.Message) {
+			n.sendNow(to, SMREnvelope{GroupID: comp.GroupID, Epoch: epoch, Inner: msg})
+		},
+		SetTimer: func(d time.Duration, data any) {
+			n.env.SetTimer(d, smrTimer{epoch: epoch, data: data})
+		},
+		Commit: n.makeCommitFn(epoch),
+		Logf:   n.cfg.Logf,
+	}
+	var rep smr.Replica
+	if n.cfg.Mode == smr.ModeAsync {
+		rep = pbft.New(cfg, pbft.Options{RequestTimeout: n.cfg.RequestTimeout})
+	} else {
+		rep = dolev.New(cfg)
+		// Initialize the replica at the current absolute round BEFORE
+		// draining buffered traffic: catch-up slots must be judged against
+		// the real round (and the replica's birth round), not round zero.
+		// No slots are accepted yet, so this Tick cannot commit anything.
+		rep.Tick(uint64(n.env.Now() / n.cfg.RoundDuration))
+	}
+	n.replica = rep
+
+	// Drop buffers for configurations that can no longer be installed, then
+	// drain buffered traffic for this one.
+	k := group.Key{GroupID: comp.GroupID, Epoch: epoch}
+	buffered := n.pen[k]
+	delete(n.pen, k)
+	for k2 := range n.pen {
+		if k2.GroupID == comp.GroupID && k2.Epoch <= epoch {
+			delete(n.pen, k2)
+		}
+	}
+	// NOTE on reentrancy: catching up on buffered traffic can commit the
+	// epoch's membership-changing op, which reconfigures and installs the
+	// NEXT epoch's replica from inside these calls. Once that happens this
+	// frame must not touch n.replica again.
+	stale := func() bool { return n.replica != rep || n.replicaEpoch != epoch }
+	n.logf("makeReplica %v/%d: draining %d buffered msgs", comp.GroupID, epoch, len(buffered))
+	for _, pm := range buffered {
+		if stale() {
+			return
+		}
+		rep.Receive(pm.from, pm.msg)
+	}
+	// Re-propose everything of ours that has not been applied yet.
+	// Buffered pre-birth slots finalize at the next round tick, in the
+	// same deterministic (round, member) order the in-time members used.
+	for _, op := range n.ownPend {
+		if stale() {
+			return
+		}
+		rep.Propose(op)
+	}
+}
+
+func (n *Node) makeCommitFn(epoch uint64) smr.CommitFn {
+	return func(op smr.Operation) {
+		// SMART-style barrier: a membership op is the last applied op of
+		// its epoch; anything the old instance commits afterwards is
+		// discarded (it will be re-proposed).
+		if n.st == nil || n.replicaEpoch != epoch || n.st.comp.Epoch != epoch {
+			return
+		}
+		n.applyCommitted(op)
+	}
+}
+
+// proposeOp content-addresses and proposes an engine operation.
+func (n *Node) proposeOp(v any) {
+	if n.replica == nil || n.st == nil {
+		return
+	}
+	data := encodePayload(v)
+	dig := opDigest(data)
+	if n.st.appliedOps[dig] {
+		return
+	}
+	if _, ok := n.ownPend[dig]; ok {
+		return
+	}
+	n.opSeq++
+	op := smr.Operation{Proposer: n.cfg.Identity.ID, OpID: n.opSeq, Data: data}
+	n.ownPend[dig] = op
+	n.replica.Propose(op)
+}
+
+// f returns the engine's current per-group fault bound.
+func (n *Node) f() int {
+	if n.st == nil {
+		return 0
+	}
+	return n.cfg.Mode.F(n.st.comp.N())
+}
+
+// resetPeerClocks restarts heartbeat accounting for the current members.
+func (n *Node) resetPeerClocks() {
+	now := n.env.Now()
+	n.hbSeen = make(map[ids.NodeID]time.Duration, n.st.comp.N())
+	for _, m := range n.st.comp.Members {
+		if m.ID != n.cfg.Identity.ID {
+			n.hbSeen[m.ID] = now
+		}
+	}
+	n.evProp = make(map[ids.NodeID]uint64)
+}

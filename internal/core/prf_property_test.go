@@ -1,0 +1,146 @@
+package core
+
+// Property tests for the deterministic vgroup randomness (the bulk-RNG
+// substitute of §5.1): prfRands, prfPick and prfShuffleIdentities must be
+// pure functions of their seed — every member derives identical values — and
+// prfShuffleIdentities must be a permutation.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"atum/internal/crypto"
+	"atum/internal/ids"
+)
+
+func seedFrom(b []byte) crypto.Digest { return crypto.Hash(b) }
+
+func TestPrfRandsDeterministicProperty(t *testing.T) {
+	property := func(seedRaw []byte, nRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		seed := seedFrom(seedRaw)
+		a := prfRands(seed, n)
+		b := prfRands(seed, n)
+		if len(a) != n || len(b) != n {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrfRandsPrefixStable(t *testing.T) {
+	// Asking for more numbers must not change the earlier ones: walks
+	// consume the pre-committed sequence incrementally.
+	property := func(seedRaw []byte, nRaw uint8) bool {
+		n := int(nRaw%16) + 1
+		seed := seedFrom(seedRaw)
+		short := prfRands(seed, n)
+		long := prfRands(seed, n+8)
+		for i := range short {
+			if short[i] != long[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrfPickInRangeProperty(t *testing.T) {
+	property := func(seedRaw []byte, salt uint64, nRaw uint16) bool {
+		n := int(nRaw%64) + 1
+		v := prfPick(seedFrom(seedRaw), salt, n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrfPickDegenerate(t *testing.T) {
+	if got := prfPick(seedFrom([]byte("x")), 1, 0); got != 0 {
+		t.Fatalf("prfPick(n=0) = %d, want 0", got)
+	}
+	if got := prfPick(seedFrom([]byte("x")), 1, -3); got != 0 {
+		t.Fatalf("prfPick(n<0) = %d, want 0", got)
+	}
+}
+
+func TestPrfShuffleIsPermutationProperty(t *testing.T) {
+	property := func(seedRaw []byte, idSeeds []uint16) bool {
+		var list []ids.Identity
+		seen := make(map[ids.NodeID]bool)
+		for _, s := range idSeeds {
+			id := ids.NodeID(s%256 + 1)
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			list = append(list, ids.Identity{ID: id})
+		}
+		out := prfShuffleIdentities(seedFrom(seedRaw), list)
+		if len(out) != len(list) {
+			return false
+		}
+		found := make(map[ids.NodeID]bool)
+		for _, m := range out {
+			if found[m.ID] || !seen[m.ID] {
+				return false
+			}
+			found[m.ID] = true
+		}
+		// Determinism: same seed, same permutation.
+		again := prfShuffleIdentities(seedFrom(seedRaw), list)
+		for i := range out {
+			if out[i].ID != again[i].ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrfShuffleDoesNotMutateInput(t *testing.T) {
+	list := []ids.Identity{{ID: 1}, {ID: 2}, {ID: 3}, {ID: 4}, {ID: 5}}
+	orig := ids.CloneIdentities(list)
+	_ = prfShuffleIdentities(seedFrom([]byte("mutation-check")), list)
+	for i := range list {
+		if list[i].ID != orig[i].ID {
+			t.Fatal("prfShuffleIdentities mutated its input")
+		}
+	}
+}
+
+func TestPrfShuffleSeedsDiffer(t *testing.T) {
+	// Different seeds should (essentially always) give different orders for
+	// a reasonably long list: 12! orderings make collisions negligible.
+	list := make([]ids.Identity, 12)
+	for i := range list {
+		list[i] = ids.Identity{ID: ids.NodeID(i + 1)}
+	}
+	a := prfShuffleIdentities(seedFrom([]byte("seed-a")), list)
+	b := prfShuffleIdentities(seedFrom([]byte("seed-b")), list)
+	same := true
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct seeds produced identical permutations")
+	}
+}

@@ -1,0 +1,134 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func schemes() []Scheme {
+	return []Scheme{Ed25519Scheme{}, SimScheme{}}
+}
+
+func TestSignVerify(t *testing.T) {
+	for _, s := range schemes() {
+		t.Run(s.Name(), func(t *testing.T) {
+			signer := s.NewSigner([]byte("seed-1"))
+			msg := []byte("hello atum")
+			sig := signer.Sign(msg)
+			if len(sig) != s.SignatureSize() {
+				t.Errorf("signature size = %d, want %d", len(sig), s.SignatureSize())
+			}
+			if !s.Verify(signer.Public(), msg, sig) {
+				t.Error("valid signature rejected")
+			}
+			if s.Verify(signer.Public(), []byte("other"), sig) {
+				t.Error("signature accepted for wrong message")
+			}
+			other := s.NewSigner([]byte("seed-2"))
+			if s.Verify(other.Public(), msg, sig) {
+				t.Error("signature accepted under wrong key")
+			}
+			if s.Verify(signer.Public(), msg, sig[:len(sig)-1]) {
+				t.Error("truncated signature accepted")
+			}
+		})
+	}
+}
+
+func TestSignerDeterministicFromSeed(t *testing.T) {
+	for _, s := range schemes() {
+		t.Run(s.Name(), func(t *testing.T) {
+			a := s.NewSigner([]byte("same"))
+			b := s.NewSigner([]byte("same"))
+			if !bytes.Equal(a.Public(), b.Public()) {
+				t.Error("same seed produced different public keys")
+			}
+			c := s.NewSigner([]byte("diff"))
+			if bytes.Equal(a.Public(), c.Public()) {
+				t.Error("different seeds produced equal public keys")
+			}
+		})
+	}
+}
+
+func TestHash(t *testing.T) {
+	a := Hash([]byte("ab"))
+	b := Hash([]byte("a"), []byte("b"))
+	if a != b {
+		t.Error("Hash should concatenate chunks")
+	}
+	if a.IsZero() {
+		t.Error("hash of data should not be zero")
+	}
+	var z Digest
+	if !z.IsZero() {
+		t.Error("zero digest should report IsZero")
+	}
+	if Hash([]byte("x")) == Hash([]byte("y")) {
+		t.Error("distinct inputs should hash differently")
+	}
+}
+
+func TestHashUint64(t *testing.T) {
+	d := Hash([]byte("base"))
+	if HashUint64(d, 1) == HashUint64(d, 2) {
+		t.Error("HashUint64 should distinguish values")
+	}
+	if HashUint64(d, 1) != HashUint64(d, 1) {
+		t.Error("HashUint64 should be deterministic")
+	}
+}
+
+func TestDigestSeedStable(t *testing.T) {
+	d := Hash([]byte("seed-me"))
+	if d.Seed() != d.Seed() {
+		t.Error("Seed should be deterministic")
+	}
+	e := Hash([]byte("seed-you"))
+	if d.Seed() == e.Seed() {
+		t.Error("distinct digests should give distinct seeds (overwhelmingly)")
+	}
+}
+
+func TestSignVerifyProperty(t *testing.T) {
+	for _, s := range schemes() {
+		scheme := s
+		f := func(seed, msg []byte) bool {
+			signer := scheme.NewSigner(seed)
+			sig := signer.Sign(msg)
+			return scheme.Verify(signer.Public(), msg, sig)
+		}
+		cfg := &quick.Config{MaxCount: 25}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Errorf("%s: %v", scheme.Name(), err)
+		}
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	msg := bytes.Repeat([]byte("m"), 256)
+	for _, s := range schemes() {
+		signer := s.NewSigner([]byte("bench"))
+		b.Run(s.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				signer.Sign(msg)
+			}
+		})
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	msg := bytes.Repeat([]byte("m"), 256)
+	for _, s := range schemes() {
+		signer := s.NewSigner([]byte("bench"))
+		sig := signer.Sign(msg)
+		b.Run(s.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !s.Verify(signer.Public(), msg, sig) {
+					b.Fatal("verify failed")
+				}
+			}
+		})
+	}
+}

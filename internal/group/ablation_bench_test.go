@@ -1,0 +1,164 @@
+package group_test
+
+// Group-message ablation benchmarks for two §5.1 mechanisms:
+//
+//   - randomized send order vs fixed order under egress bandwidth limits
+//     (incast avoidance): with every sender walking the destination list in
+//     the same order, the last destination only starts hearing from anyone
+//     after g−1 earlier transmissions per sender, so the time until *all*
+//     destinations accept stretches; randomization spreads arrivals so each
+//     destination collects its majority early.
+//   - the digest optimization vs sending the full payload from every member:
+//     byte savings of (g−maj)·|payload| per destination.
+//
+//	go test ./internal/group -bench . -benchtime 3x
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"atum/internal/actor"
+	"atum/internal/crypto"
+	"atum/internal/group"
+	"atum/internal/ids"
+	"atum/internal/simnet"
+)
+
+// burstSender sends one group message on start.
+type burstSender struct {
+	src, dst group.Composition
+	payload  []byte
+	ordered  bool
+}
+
+func (s *burstSender) Start(env actor.Env) {
+	msgID := crypto.Hash([]byte("ablate"))
+	if s.ordered {
+		group.SendOrdered(env.Send, s.src, env.Self(), s.dst, 1, msgID, s.payload)
+	} else {
+		group.Send(env.Send, env.Rand(), s.src, env.Self(), s.dst, 1, msgID, s.payload)
+	}
+}
+
+func (s *burstSender) Receive(ids.NodeID, actor.Message) {}
+func (s *burstSender) Timer(actor.TimerID, any)          {}
+func (s *burstSender) Stop()                             {}
+
+// acceptProbe records when it has a majority of shares plus a full payload.
+type acceptProbe struct {
+	src        group.Composition
+	env        actor.Env
+	senders    map[ids.NodeID]bool
+	gotPayload bool
+	acceptedAt time.Duration
+}
+
+func (p *acceptProbe) Start(env actor.Env) { p.env = env; p.senders = make(map[ids.NodeID]bool) }
+
+func (p *acceptProbe) Receive(from ids.NodeID, msg actor.Message) {
+	m, ok := msg.(group.GroupMsg)
+	if !ok || p.acceptedAt != 0 {
+		return
+	}
+	p.senders[from] = true
+	if m.Payload != nil {
+		p.gotPayload = true
+	}
+	if p.gotPayload && len(p.senders) >= p.src.Majority() {
+		p.acceptedAt = p.env.Now()
+	}
+}
+
+func (p *acceptProbe) Timer(actor.TimerID, any) {}
+func (p *acceptProbe) Stop()                    {}
+
+func buildComps(g int) (src, dst group.Composition) {
+	src = group.Composition{GroupID: 1, Epoch: 1}
+	dst = group.Composition{GroupID: 2, Epoch: 1}
+	for i := 1; i <= g; i++ {
+		src.Members = append(src.Members, ids.Identity{ID: ids.NodeID(i)})
+		dst.Members = append(dst.Members, ids.Identity{ID: ids.NodeID(100 + i)})
+	}
+	return src, dst
+}
+
+// BenchmarkAblationSendOrder measures the virtual time until the slowest
+// destination member accepts a 4 KiB group message from a 12-member vgroup,
+// with each sender's egress limited to 1 MB/s.
+func BenchmarkAblationSendOrder(b *testing.B) {
+	const g = 12
+	const payloadSize = 4 << 10
+	for _, ordered := range []bool{false, true} {
+		name := "order=randomized"
+		if ordered {
+			name = "order=fixed"
+		}
+		b.Run(name, func(b *testing.B) {
+			var worst, sum time.Duration
+			for i := 0; i < b.N; i++ {
+				net := simnet.New(simnet.Config{
+					Seed:        int64(i + 1),
+					Latency:     simnet.ConstLatency(time.Millisecond),
+					BandwidthUp: 1 << 20,
+				})
+				src, dst := buildComps(g)
+				payload := make([]byte, payloadSize)
+				probes := make([]*acceptProbe, 0, g)
+				for _, m := range dst.Members {
+					p := &acceptProbe{src: src}
+					probes = append(probes, p)
+					net.Add(m.ID, p)
+				}
+				for _, m := range src.Members {
+					net.Add(m.ID, &burstSender{src: src, dst: dst, payload: payload, ordered: ordered})
+				}
+				net.RunUntilIdle(time.Minute)
+				for _, p := range probes {
+					if p.acceptedAt == 0 {
+						b.Fatal("destination never accepted")
+					}
+					if p.acceptedAt > worst {
+						worst = p.acceptedAt
+					}
+					sum += p.acceptedAt
+				}
+			}
+			b.ReportMetric(float64(worst.Milliseconds()), "virtual_ms_worst_accept")
+			b.ReportMetric(float64(sum.Milliseconds())/float64(b.N*g), "virtual_ms_mean_accept")
+		})
+	}
+}
+
+// BenchmarkAblationDigestOptimization measures the wire bytes of one group
+// message with the §5.1 digest optimization (majority sends the payload,
+// the rest only its digest) against the naive everyone-sends-everything
+// scheme, across group sizes.
+func BenchmarkAblationDigestOptimization(b *testing.B) {
+	const payloadSize = 16 << 10
+	for _, g := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("g=%d", g), func(b *testing.B) {
+			src, dst := buildComps(g)
+			payload := make([]byte, payloadSize)
+			rng := rand.New(rand.NewSource(1))
+			var optimized, naive int64
+			for i := 0; i < b.N; i++ {
+				optimized, naive = 0, 0
+				count := func(_ ids.NodeID, msg actor.Message) {
+					optimized += int64(actor.SizeOf(msg))
+				}
+				for _, m := range src.Members {
+					group.Send(count, rng, src, m.ID, dst, 1, crypto.Hash([]byte("x")), payload)
+				}
+				// Naive: every member sends the full payload to every
+				// destination member.
+				full := group.GroupMsg{Payload: payload}
+				naive = int64(g) * int64(g) * int64(actor.SizeOf(full))
+			}
+			b.ReportMetric(float64(optimized)/float64(g), "bytes_per_dst_optimized")
+			b.ReportMetric(float64(naive)/float64(g), "bytes_per_dst_naive")
+			b.ReportMetric(float64(naive)/float64(optimized), "savings_factor")
+		})
+	}
+}

@@ -1,0 +1,106 @@
+// Package group implements Atum's group layer (paper §3.1): the volatile
+// group (vgroup) composition record, and group messages — the reliable
+// communication primitive for pairs of vgroups.
+//
+// A group message from vgroup A to vgroup B is a message every correct node
+// of A sends to every node of B; a node of B accepts it once a majority of
+// A's (epoch-stamped) composition delivered matching content. Because every
+// vgroup is kept robust (a correct majority) by the overlay layer, an
+// accepted group message is guaranteed to originate from A's collective
+// state, not from any individual faulty member.
+package group
+
+import (
+	"atum/internal/crypto"
+	"atum/internal/ids"
+	"atum/internal/wire"
+)
+
+// Composition is the identity of one vgroup at one point in its life:
+// its ID, its reconfiguration epoch, and its (canonically sorted) members.
+type Composition struct {
+	GroupID ids.GroupID
+	Epoch   uint64
+	Members []ids.Identity
+}
+
+// N returns the group size.
+func (c Composition) N() int { return len(c.Members) }
+
+// Majority returns the group-message acceptance threshold: ⌊N/2⌋+1.
+func (c Composition) Majority() int { return c.N()/2 + 1 }
+
+// Index returns the member index of id, or -1.
+func (c Composition) Index(id ids.NodeID) int { return ids.FindIdentity(c.Members, id) }
+
+// Contains reports whether id is a member.
+func (c Composition) Contains(id ids.NodeID) bool { return c.Index(id) >= 0 }
+
+// IsZero reports whether this is the zero composition.
+func (c Composition) IsZero() bool {
+	return c.GroupID == 0 && c.Epoch == 0 && len(c.Members) == 0
+}
+
+// Clone returns a deep copy.
+func (c Composition) Clone() Composition {
+	return Composition{GroupID: c.GroupID, Epoch: c.Epoch, Members: ids.CloneIdentities(c.Members)}
+}
+
+// MarshalWire implements wire.Marshaler; the encoding is canonical, so
+// composition digests agree across members.
+func (c Composition) MarshalWire(e *wire.Encoder) {
+	e.Uint64(uint64(c.GroupID))
+	e.Uint64(c.Epoch)
+	e.Uint64(uint64(len(c.Members)))
+	for _, m := range c.Members {
+		e.Uint64(uint64(m.ID))
+		e.String(m.Addr)
+		e.VarBytes(m.PubKey)
+	}
+}
+
+// UnmarshalWire decodes a composition encoded by MarshalWire.
+func (c *Composition) UnmarshalWire(d *wire.Decoder) {
+	c.GroupID = ids.GroupID(d.Uint64())
+	c.Epoch = d.Uint64()
+	n := int(d.Uint64())
+	if d.Err() != nil || n < 0 || n > 1<<16 {
+		return
+	}
+	c.Members = make([]ids.Identity, 0, n)
+	for i := 0; i < n; i++ {
+		var m ids.Identity
+		m.ID = ids.NodeID(d.Uint64())
+		m.Addr = d.String()
+		m.PubKey = d.VarBytes()
+		c.Members = append(c.Members, m)
+	}
+}
+
+// Digest returns the canonical digest identifying this composition.
+func (c Composition) Digest() crypto.Digest {
+	return crypto.Hash(wire.Encode(c))
+}
+
+// Equal reports deep equality of two compositions.
+func (c Composition) Equal(o Composition) bool {
+	if c.GroupID != o.GroupID || c.Epoch != o.Epoch || len(c.Members) != len(o.Members) {
+		return false
+	}
+	for i := range c.Members {
+		if !c.Members[i].Equal(o.Members[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key identifies a composition by (GroupID, Epoch) — the granularity at
+// which group messages are matched.
+type Key struct {
+	GroupID ids.GroupID
+	Epoch   uint64
+}
+
+// Key returns the composition's key.
+func (c Composition) Key() Key { return Key{GroupID: c.GroupID, Epoch: c.Epoch} }

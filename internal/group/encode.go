@@ -1,0 +1,30 @@
+package group
+
+import (
+	"fmt"
+
+	"atum/internal/wire"
+)
+
+// compEncode returns the canonical bytes of a composition.
+func compEncode(c Composition) []byte { return wire.Encode(c) }
+
+// compDecode parses canonical composition bytes.
+func compDecode(b []byte, c *Composition) error {
+	d := wire.NewDecoder(b)
+	c.UnmarshalWire(d)
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("group: decode composition: %w", err)
+	}
+	return nil
+}
+
+// DecodeComposition parses a composition from canonical bytes.
+func DecodeComposition(b []byte) (Composition, error) {
+	var c Composition
+	err := compDecode(b, &c)
+	return c, err
+}
+
+// EncodeComposition returns the canonical bytes of a composition.
+func EncodeComposition(c Composition) []byte { return compEncode(c) }

@@ -1,0 +1,283 @@
+package group
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"atum/internal/actor"
+	"atum/internal/crypto"
+	"atum/internal/ids"
+)
+
+func comp(gid ids.GroupID, epoch uint64, members ...uint64) Composition {
+	c := Composition{GroupID: gid, Epoch: epoch}
+	for _, m := range members {
+		c.Members = append(c.Members, ids.Identity{ID: ids.NodeID(m), Addr: fmt.Sprintf("h:%d", m), PubKey: []byte{byte(m)}})
+	}
+	ids.SortIdentities(c.Members)
+	return c
+}
+
+func TestCompositionBasics(t *testing.T) {
+	c := comp(5, 2, 1, 2, 3, 4)
+	if c.N() != 4 || c.Majority() != 3 {
+		t.Errorf("N=%d Majority=%d, want 4 and 3", c.N(), c.Majority())
+	}
+	if !c.Contains(3) || c.Contains(9) {
+		t.Error("Contains wrong")
+	}
+	if c.Index(2) != 1 {
+		t.Errorf("Index(2) = %d, want 1", c.Index(2))
+	}
+	if c.IsZero() {
+		t.Error("non-zero composition reported zero")
+	}
+	if !(Composition{}).IsZero() {
+		t.Error("zero composition not reported zero")
+	}
+}
+
+func TestCompositionDigestCanonical(t *testing.T) {
+	a := comp(1, 1, 3, 1, 2)
+	b := comp(1, 1, 2, 3, 1)
+	if a.Digest() != b.Digest() {
+		t.Error("digest must not depend on member insertion order")
+	}
+	c := comp(1, 2, 1, 2, 3)
+	if a.Digest() == c.Digest() {
+		t.Error("digest must depend on epoch")
+	}
+	if !a.Equal(b) {
+		t.Error("Equal should hold for same members")
+	}
+}
+
+func TestCompositionWireRoundTrip(t *testing.T) {
+	a := comp(7, 3, 10, 20, 30)
+	bytes := encodeComp(a)
+	var b Composition
+	decodeComp(bytes, &b)
+	if !a.Equal(b) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", a, b)
+	}
+}
+
+func TestCompositionCloneIsDeep(t *testing.T) {
+	a := comp(1, 1, 1, 2)
+	b := a.Clone()
+	b.Members[0].PubKey[0] = 99
+	if a.Members[0].PubKey[0] == 99 {
+		t.Error("Clone did not deep-copy")
+	}
+}
+
+// --- group message send/receive ---
+
+type sentRec struct {
+	to  ids.NodeID
+	msg GroupMsg
+}
+
+func collectSends() (*[]sentRec, SendFn) {
+	var recs []sentRec
+	p := &recs
+	return p, func(to ids.NodeID, msg actor.Message) {
+		*p = append(*p, sentRec{to: to, msg: msg.(GroupMsg)})
+	}
+}
+
+func TestSendDigestOptimization(t *testing.T) {
+	src := comp(1, 1, 1, 2, 3, 4, 5) // majority = 3
+	dst := comp(2, 1, 10, 11, 12)
+	payload := []byte("data")
+	msgID := crypto.Hash([]byte("m1"))
+	rng := rand.New(rand.NewSource(1))
+
+	fullSenders := 0
+	for _, m := range src.Members {
+		recs, send := collectSends()
+		Send(send, rng, src, m.ID, dst, 1, msgID, payload)
+		if len(*recs) != dst.N() {
+			t.Fatalf("sent %d copies, want %d", len(*recs), dst.N())
+		}
+		if (*recs)[0].msg.Payload != nil {
+			fullSenders++
+		}
+		for _, r := range *recs {
+			if r.msg.PayloadDigest != crypto.Hash(payload) {
+				t.Error("wrong payload digest")
+			}
+		}
+	}
+	if fullSenders != src.Majority() {
+		t.Errorf("%d members sent full payloads, want exactly majority %d", fullSenders, src.Majority())
+	}
+}
+
+func TestInboxAcceptsAtMajority(t *testing.T) {
+	src := comp(1, 1, 1, 2, 3, 4, 5)
+	known := map[Key]Composition{src.Key(): src}
+	ib := NewInbox(func(k Key) (Composition, bool) { c, ok := known[k]; return c, ok })
+
+	payload := []byte("hello")
+	mk := func(full bool) GroupMsg {
+		m := GroupMsg{SrcGroup: 1, SrcEpoch: 1, Kind: 2,
+			MsgID: crypto.Hash([]byte("id")), PayloadDigest: crypto.Hash(payload)}
+		if full {
+			m.Payload = payload
+		}
+		return m
+	}
+	if _, ok := ib.Observe(0, 1, mk(true)); ok {
+		t.Fatal("accepted after 1 vote")
+	}
+	if _, ok := ib.Observe(0, 2, mk(false)); ok {
+		t.Fatal("accepted after 2 votes")
+	}
+	acc, ok := ib.Observe(time.Second, 3, mk(false))
+	if !ok {
+		t.Fatal("not accepted at majority")
+	}
+	if string(acc.Payload) != "hello" || acc.Kind != 2 {
+		t.Errorf("accepted = %+v", acc)
+	}
+	// Further copies must not re-accept.
+	if _, ok := ib.Observe(2*time.Second, 4, mk(true)); ok {
+		t.Error("duplicate acceptance")
+	}
+}
+
+func TestInboxWaitsForFullPayload(t *testing.T) {
+	src := comp(1, 1, 1, 2, 3)
+	ib := NewInbox(func(k Key) (Composition, bool) { return src, k == src.Key() })
+	payload := []byte("p")
+	digestOnly := GroupMsg{SrcGroup: 1, SrcEpoch: 1, MsgID: crypto.Hash([]byte("x")), PayloadDigest: crypto.Hash(payload)}
+	if _, ok := ib.Observe(0, 1, digestOnly); ok {
+		t.Fatal("accepted without payload")
+	}
+	if _, ok := ib.Observe(0, 2, digestOnly); ok {
+		t.Fatal("accepted without payload at majority votes")
+	}
+	full := digestOnly
+	full.Payload = payload
+	acc, ok := ib.Observe(0, 3, full)
+	if !ok || string(acc.Payload) != "p" {
+		t.Fatal("full payload arrival should complete acceptance")
+	}
+}
+
+func TestInboxNonMemberVotesIgnored(t *testing.T) {
+	src := comp(1, 1, 1, 2, 3)
+	ib := NewInbox(func(k Key) (Composition, bool) { return src, k == src.Key() })
+	payload := []byte("p")
+	m := GroupMsg{SrcGroup: 1, SrcEpoch: 1, MsgID: crypto.Hash([]byte("x")),
+		PayloadDigest: crypto.Hash(payload), Payload: payload}
+	if _, ok := ib.Observe(0, 77, m); ok {
+		t.Fatal("outsider vote accepted")
+	}
+	if _, ok := ib.Observe(0, 78, m); ok {
+		t.Fatal("outsider votes accepted")
+	}
+	if _, ok := ib.Observe(0, 1, m); ok {
+		t.Fatal("1 member + outsiders accepted")
+	}
+	if _, ok := ib.Observe(0, 2, m); !ok {
+		t.Fatal("2 members (majority of 3) should accept")
+	}
+}
+
+func TestInboxByzantineCannotFlipVote(t *testing.T) {
+	src := comp(1, 1, 1, 2, 3)
+	ib := NewInbox(func(k Key) (Composition, bool) { return src, k == src.Key() })
+	good := []byte("good")
+	evil := []byte("evil")
+	msgID := crypto.Hash([]byte("x"))
+	// Byzantine member 1 votes evil first, then tries to also vote good.
+	ib.Observe(0, 1, GroupMsg{SrcGroup: 1, SrcEpoch: 1, MsgID: msgID, PayloadDigest: crypto.Hash(evil), Payload: evil})
+	ib.Observe(0, 1, GroupMsg{SrcGroup: 1, SrcEpoch: 1, MsgID: msgID, PayloadDigest: crypto.Hash(good), Payload: good})
+	// One correct vote: good has 1 valid vote (member 2), evil has 1 (member 1).
+	if _, ok := ib.Observe(0, 2, GroupMsg{SrcGroup: 1, SrcEpoch: 1, MsgID: msgID, PayloadDigest: crypto.Hash(good), Payload: good}); ok {
+		t.Fatal("accepted with one correct vote")
+	}
+	acc, ok := ib.Observe(0, 3, GroupMsg{SrcGroup: 1, SrcEpoch: 1, MsgID: msgID, PayloadDigest: crypto.Hash(good), Payload: good})
+	if !ok || string(acc.Payload) != "good" {
+		t.Fatal("majority of correct votes should accept the good payload")
+	}
+}
+
+func TestInboxCorruptPayloadDropped(t *testing.T) {
+	src := comp(1, 1, 1, 2, 3)
+	ib := NewInbox(func(k Key) (Composition, bool) { return src, k == src.Key() })
+	m := GroupMsg{SrcGroup: 1, SrcEpoch: 1, MsgID: crypto.Hash([]byte("x")),
+		PayloadDigest: crypto.Hash([]byte("claimed")), Payload: []byte("actual")}
+	if _, ok := ib.Observe(0, 1, m); ok {
+		t.Fatal("corrupt copy accepted")
+	}
+	if ib.Len() != 0 {
+		t.Error("corrupt copy should not create entries")
+	}
+}
+
+func TestInboxUnknownCompositionBuffersAndFlushes(t *testing.T) {
+	src := comp(9, 4, 1, 2, 3)
+	known := map[Key]Composition{}
+	ib := NewInbox(func(k Key) (Composition, bool) { c, ok := known[k]; return c, ok })
+	payload := []byte("later")
+	m := GroupMsg{SrcGroup: 9, SrcEpoch: 4, MsgID: crypto.Hash([]byte("x")),
+		PayloadDigest: crypto.Hash(payload), Payload: payload}
+	ib.Observe(0, 1, m)
+	ib.Observe(0, 2, m)
+	if got := ib.FlushKey(0, src.Key()); len(got) != 0 {
+		t.Fatal("flush before composition known should yield nothing")
+	}
+	known[src.Key()] = src
+	got := ib.FlushKey(time.Second, src.Key())
+	if len(got) != 1 || string(got[0].Payload) != "later" {
+		t.Fatalf("flush = %v, want the buffered message", got)
+	}
+}
+
+func TestInboxPrune(t *testing.T) {
+	src := comp(1, 1, 1, 2, 3)
+	ib := NewInbox(func(k Key) (Composition, bool) { return src, k == src.Key() })
+	m := GroupMsg{SrcGroup: 1, SrcEpoch: 1, MsgID: crypto.Hash([]byte("x")),
+		PayloadDigest: crypto.Hash([]byte("p")), Payload: []byte("p")}
+	ib.Observe(time.Second, 1, m)
+	if ib.Len() != 1 {
+		t.Fatal("entry not created")
+	}
+	ib.Prune(500 * time.Millisecond)
+	if ib.Len() != 1 {
+		t.Fatal("entry pruned too early")
+	}
+	ib.Prune(2 * time.Second)
+	if ib.Len() != 0 {
+		t.Fatal("entry not pruned")
+	}
+}
+
+func TestInboxFloodBounded(t *testing.T) {
+	src := comp(1, 1, 1, 2, 3)
+	ib := NewInbox(func(k Key) (Composition, bool) { return src, k == src.Key() })
+	for i := 0; i < 3*maxEntriesPerKey; i++ {
+		m := GroupMsg{SrcGroup: 1, SrcEpoch: 1,
+			MsgID:         crypto.Hash([]byte(fmt.Sprintf("flood-%d", i))),
+			PayloadDigest: crypto.Hash(nil)}
+		ib.Observe(0, 1, m)
+	}
+	if ib.Len() > maxEntriesPerKey {
+		t.Errorf("inbox grew to %d entries, cap is %d", ib.Len(), maxEntriesPerKey)
+	}
+}
+
+// helpers for wire round trip
+
+func encodeComp(c Composition) []byte {
+	return compEncode(c)
+}
+
+func decodeComp(b []byte, c *Composition) {
+	compDecode(b, c)
+}

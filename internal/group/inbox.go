@@ -1,0 +1,170 @@
+package group
+
+import (
+	"time"
+
+	"atum/internal/crypto"
+	"atum/internal/ids"
+)
+
+// maxEntriesPerKey bounds the number of buffered logical messages per source
+// composition, protecting receivers from hostile floods.
+const maxEntriesPerKey = 1024
+
+// Inbox is the receive side of the group-message primitive. One Inbox per
+// node accumulates per-sender votes for each logical message and reports
+// acceptance when a majority of the source composition delivered matching
+// content and a full payload is available.
+//
+// Messages may arrive before their source composition is known (e.g. a
+// neighbor reconfigured and its update is still in flight); such votes are
+// buffered and re-evaluated via FlushKey once the composition is learned.
+type Inbox struct {
+	lookup  func(Key) (Composition, bool)
+	entries map[entryKey]*entryState
+	byKey   map[Key]map[crypto.Digest]bool // src → msgIDs with live entries
+}
+
+type entryKey struct {
+	src   Key
+	msgID crypto.Digest
+}
+
+type entryState struct {
+	votes    map[ids.NodeID]crypto.Digest
+	payloads map[crypto.Digest][]byte
+	attach   map[ids.NodeID][]byte
+	kind     Kind
+	accepted bool
+	firstAt  time.Duration
+}
+
+// NewInbox creates an inbox; lookup resolves known compositions.
+func NewInbox(lookup func(Key) (Composition, bool)) *Inbox {
+	return &Inbox{
+		lookup:  lookup,
+		entries: make(map[entryKey]*entryState),
+		byKey:   make(map[Key]map[crypto.Digest]bool),
+	}
+}
+
+// Observe records the arrival of one GroupMsg copy from a link-authenticated
+// sender. It returns the accepted logical message the first time the
+// acceptance threshold is crossed.
+func (ib *Inbox) Observe(now time.Duration, from ids.NodeID, msg GroupMsg) (Accepted, bool) {
+	if msg.Payload != nil && crypto.Hash(msg.Payload) != msg.PayloadDigest {
+		return Accepted{}, false // inconsistent copy; drop the vote entirely
+	}
+	src := Key{GroupID: msg.SrcGroup, Epoch: msg.SrcEpoch}
+	ek := entryKey{src: src, msgID: msg.MsgID}
+	e, ok := ib.entries[ek]
+	if !ok {
+		if len(ib.byKey[src]) >= maxEntriesPerKey {
+			return Accepted{}, false
+		}
+		e = &entryState{
+			votes:    make(map[ids.NodeID]crypto.Digest),
+			payloads: make(map[crypto.Digest][]byte),
+			attach:   make(map[ids.NodeID][]byte),
+			kind:     msg.Kind,
+			firstAt:  now,
+		}
+		ib.entries[ek] = e
+		set, ok := ib.byKey[src]
+		if !ok {
+			set = make(map[crypto.Digest]bool)
+			ib.byKey[src] = set
+		}
+		set[msg.MsgID] = true
+	}
+	if e.accepted {
+		return Accepted{}, false
+	}
+	// First vote per sender wins: a Byzantine sender cannot flip its vote.
+	if _, voted := e.votes[from]; !voted {
+		e.votes[from] = msg.PayloadDigest
+		if msg.Attach != nil {
+			e.attach[from] = msg.Attach
+		}
+	}
+	if msg.Payload != nil {
+		if _, have := e.payloads[msg.PayloadDigest]; !have {
+			e.payloads[msg.PayloadDigest] = msg.Payload
+		}
+	}
+	return ib.check(now, ek, e)
+}
+
+// check evaluates the acceptance rule for one entry.
+func (ib *Inbox) check(now time.Duration, ek entryKey, e *entryState) (Accepted, bool) {
+	comp, known := ib.lookup(ek.src)
+	if !known {
+		return Accepted{}, false
+	}
+	counts := make(map[crypto.Digest]int)
+	for voter, d := range e.votes {
+		if comp.Contains(voter) {
+			counts[d]++
+		}
+	}
+	for d, c := range counts {
+		if c < comp.Majority() {
+			continue
+		}
+		payload, have := e.payloads[d]
+		if !have {
+			continue // wait for a full copy (a correct majority sender will provide one)
+		}
+		attachments := make(map[ids.NodeID][]byte)
+		for voter, vd := range e.votes {
+			if vd == d && comp.Contains(voter) {
+				if a, ok := e.attach[voter]; ok {
+					attachments[voter] = a
+				}
+			}
+		}
+		e.accepted = true
+		e.payloads = nil // release memory; votes kept for dedup until pruned
+		e.attach = nil
+		return Accepted{Src: ek.src, Kind: e.kind, MsgID: ek.msgID,
+			Payload: payload, Attachments: attachments, At: now}, true
+	}
+	return Accepted{}, false
+}
+
+// FlushKey re-evaluates buffered entries for a source composition that just
+// became known, returning all newly accepted messages.
+func (ib *Inbox) FlushKey(now time.Duration, src Key) []Accepted {
+	var out []Accepted
+	for msgID := range ib.byKey[src] {
+		ek := entryKey{src: src, msgID: msgID}
+		e, ok := ib.entries[ek]
+		if !ok || e.accepted {
+			continue
+		}
+		if acc, ok := ib.check(now, ek, e); ok {
+			out = append(out, acc)
+		}
+	}
+	return out
+}
+
+// Prune drops entries first observed before the deadline. Accepted entries
+// are retained until pruned, which suppresses duplicate deliveries from
+// stragglers in the meantime.
+func (ib *Inbox) Prune(before time.Duration) {
+	for ek, e := range ib.entries {
+		if e.firstAt < before {
+			delete(ib.entries, ek)
+			if set, ok := ib.byKey[ek.src]; ok {
+				delete(set, ek.msgID)
+				if len(set) == 0 {
+					delete(ib.byKey, ek.src)
+				}
+			}
+		}
+	}
+}
+
+// Len returns the number of live entries (for tests and metrics).
+func (ib *Inbox) Len() int { return len(ib.entries) }

@@ -1,0 +1,69 @@
+package group
+
+import (
+	"math/rand"
+	"testing"
+
+	"atum/internal/actor"
+	"atum/internal/crypto"
+	"atum/internal/ids"
+)
+
+// TestSendOrderedMatchesSendSemantics: the incast-ablation variant must
+// produce the same message set as Send — same digest optimization, same
+// destinations — differing only in destination order.
+func TestSendOrderedMatchesSendSemantics(t *testing.T) {
+	src := comp(1, 1, 1, 2, 3, 4, 5)
+	dst := comp(2, 1, 11, 12, 13, 14)
+	payload := []byte("ordered payload")
+	msgID := crypto.Hash([]byte("ordered"))
+
+	collect := func(send func(SendFn)) map[ids.NodeID]GroupMsg {
+		out := make(map[ids.NodeID]GroupMsg)
+		send(func(to ids.NodeID, msg actor.Message) {
+			out[to] = msg.(GroupMsg)
+		})
+		return out
+	}
+	for _, member := range src.Members {
+		member := member
+		ordered := collect(func(send SendFn) {
+			SendOrdered(send, src, member.ID, dst, 3, msgID, payload)
+		})
+		randomized := collect(func(send SendFn) {
+			Send(send, rand.New(rand.NewSource(9)), src, member.ID, dst, 3, msgID, payload)
+		})
+		if len(ordered) != dst.N() || len(randomized) != dst.N() {
+			t.Fatalf("message sets differ in size: %d vs %d", len(ordered), len(randomized))
+		}
+		for to, om := range ordered {
+			rm, ok := randomized[to]
+			if !ok {
+				t.Fatalf("destination %v missing from randomized send", to)
+			}
+			if om.PayloadDigest != rm.PayloadDigest || (om.Payload == nil) != (rm.Payload == nil) {
+				t.Fatalf("sender %v to %v: ordered/randomized messages differ: %+v vs %+v",
+					member.ID, to, om, rm)
+			}
+		}
+	}
+}
+
+// TestSendOrderedVisitsInCompositionOrder pins the property the ablation
+// relies on: every sender walks the destination list identically.
+func TestSendOrderedVisitsInCompositionOrder(t *testing.T) {
+	src := comp(1, 1, 1, 2, 3)
+	dst := comp(2, 1, 21, 22, 23, 24, 25)
+	var visits []ids.NodeID
+	SendOrdered(func(to ids.NodeID, _ actor.Message) {
+		visits = append(visits, to)
+	}, src, 1, dst, 1, crypto.Hash([]byte("o")), []byte("p"))
+	if len(visits) != dst.N() {
+		t.Fatalf("visited %d destinations, want %d", len(visits), dst.N())
+	}
+	for i, m := range dst.Members {
+		if visits[i] != m.ID {
+			t.Fatalf("visit %d = %v, want %v", i, visits[i], m.ID)
+		}
+	}
+}

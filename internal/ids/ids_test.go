@@ -1,0 +1,115 @@
+package ids
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeIDString(t *testing.T) {
+	if got := NodeID(42).String(); got != "n42" {
+		t.Errorf("NodeID(42).String() = %q, want %q", got, "n42")
+	}
+	if got := GroupID(7).String(); got != "g7" {
+		t.Errorf("GroupID(7).String() = %q, want %q", got, "g7")
+	}
+}
+
+func TestIdentityEqual(t *testing.T) {
+	a := Identity{ID: 1, Addr: "x:1", PubKey: []byte{1, 2}}
+	tests := []struct {
+		name string
+		b    Identity
+		want bool
+	}{
+		{"same", Identity{ID: 1, Addr: "x:1", PubKey: []byte{1, 2}}, true},
+		{"diff id", Identity{ID: 2, Addr: "x:1", PubKey: []byte{1, 2}}, false},
+		{"diff addr", Identity{ID: 1, Addr: "y:1", PubKey: []byte{1, 2}}, false},
+		{"diff key", Identity{ID: 1, Addr: "x:1", PubKey: []byte{1, 3}}, false},
+		{"diff key len", Identity{ID: 1, Addr: "x:1", PubKey: []byte{1}}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := a.Equal(tt.b); got != tt.want {
+				t.Errorf("Equal = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSortIdentities(t *testing.T) {
+	list := []Identity{{ID: 3}, {ID: 1}, {ID: 2}}
+	SortIdentities(list)
+	for i, want := range []NodeID{1, 2, 3} {
+		if list[i].ID != want {
+			t.Fatalf("after sort, list[%d].ID = %v, want %v", i, list[i].ID, want)
+		}
+	}
+}
+
+func TestFindIdentity(t *testing.T) {
+	list := []Identity{{ID: 1}, {ID: 5}, {ID: 9}}
+	if got := FindIdentity(list, 5); got != 1 {
+		t.Errorf("FindIdentity(5) = %d, want 1", got)
+	}
+	if got := FindIdentity(list, 4); got != -1 {
+		t.Errorf("FindIdentity(4) = %d, want -1", got)
+	}
+	if got := FindIdentity(nil, 4); got != -1 {
+		t.Errorf("FindIdentity(nil, 4) = %d, want -1", got)
+	}
+}
+
+func TestIdentityIDs(t *testing.T) {
+	list := []Identity{{ID: 4}, {ID: 2}}
+	got := IdentityIDs(list)
+	if len(got) != 2 || got[0] != 4 || got[1] != 2 {
+		t.Errorf("IdentityIDs = %v, want [4 2]", got)
+	}
+}
+
+func TestCloneIdentitiesDeep(t *testing.T) {
+	orig := []Identity{{ID: 1, PubKey: []byte{9}}}
+	cl := CloneIdentities(orig)
+	cl[0].PubKey[0] = 7
+	if orig[0].PubKey[0] != 9 {
+		t.Error("CloneIdentities did not deep-copy PubKey")
+	}
+	if CloneIdentities(nil) != nil {
+		t.Error("CloneIdentities(nil) should be nil")
+	}
+}
+
+func TestSortIsPermutationProperty(t *testing.T) {
+	f := func(raw []uint64) bool {
+		list := make([]Identity, len(raw))
+		for i, v := range raw {
+			list[i] = Identity{ID: NodeID(v)}
+		}
+		before := map[NodeID]int{}
+		for _, id := range list {
+			before[id.ID]++
+		}
+		SortIdentities(list)
+		after := map[NodeID]int{}
+		for _, id := range list {
+			after[id.ID]++
+		}
+		if len(before) != len(after) {
+			return false
+		}
+		for k, v := range before {
+			if after[k] != v {
+				return false
+			}
+		}
+		for i := 1; i < len(list); i++ {
+			if list[i-1].ID > list[i].ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

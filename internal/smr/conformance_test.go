@@ -1,0 +1,411 @@
+package smr_test
+
+// Cross-engine conformance suite: the same agreement scenarios run against
+// both SMR engines (internal/smr/dolev and internal/smr/pbft) through the
+// smr.Replica interface. Atum's group layer is engine-agnostic (paper §3.1),
+// so any behaviour the engine exposes through this interface must hold for
+// both: total order, agreement across members, commitment despite f faulty
+// members, and quiescence after Stop.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"atum/internal/actor"
+	"atum/internal/crypto"
+	"atum/internal/ids"
+	"atum/internal/smr"
+	"atum/internal/smr/dolev"
+	"atum/internal/smr/pbft"
+)
+
+// engineSpec is one SMR engine under conformance test.
+type engineSpec struct {
+	name string
+	mode smr.Mode
+	make func(cfg smr.Config) smr.Replica
+}
+
+func engines() []engineSpec {
+	return []engineSpec{
+		{
+			name: "dolev",
+			mode: smr.ModeSync,
+			make: func(cfg smr.Config) smr.Replica { return dolev.New(cfg) },
+		},
+		{
+			name: "pbft",
+			mode: smr.ModeAsync,
+			make: func(cfg smr.Config) smr.Replica {
+				return pbft.New(cfg, pbft.Options{RequestTimeout: 50 * time.Millisecond})
+			},
+		},
+	}
+}
+
+// conformCluster drives one epoch of one engine for n members on a logical
+// clock: each step delivers all pending messages, fires due timers, and (for
+// the synchronous engine) advances the round.
+type conformCluster struct {
+	t         *testing.T
+	spec      engineSpec
+	members   []ids.Identity
+	replicas  map[ids.NodeID]smr.Replica
+	inbox     map[ids.NodeID][]conformEnv
+	committed map[ids.NodeID][]smr.Operation
+	timers    map[ids.NodeID][]conformTimer
+	step      int
+	round     uint64
+	rng       *rand.Rand
+	drop      func(from, to ids.NodeID) bool
+}
+
+type conformEnv struct {
+	from ids.NodeID
+	msg  actor.Message
+}
+
+type conformTimer struct {
+	due  int
+	data any
+}
+
+// stepsPerTimeout converts the pbft request timeout into logical steps: one
+// step stands for ~10ms of virtual time.
+const stepMillis = 10
+
+func newConformCluster(t *testing.T, spec engineSpec, n int, silent ...ids.NodeID) *conformCluster {
+	t.Helper()
+	c := &conformCluster{
+		t:         t,
+		spec:      spec,
+		replicas:  make(map[ids.NodeID]smr.Replica),
+		inbox:     make(map[ids.NodeID][]conformEnv),
+		committed: make(map[ids.NodeID][]smr.Operation),
+		timers:    make(map[ids.NodeID][]conformTimer),
+		rng:       rand.New(rand.NewSource(11)),
+	}
+	scheme := crypto.SimScheme{}
+	signers := make(map[ids.NodeID]crypto.Signer)
+	for i := 1; i <= n; i++ {
+		id := ids.NodeID(i)
+		s := scheme.NewSigner([]byte(fmt.Sprintf("conform-%d", i)))
+		signers[id] = s
+		c.members = append(c.members, ids.Identity{ID: id, PubKey: s.Public()})
+	}
+	ids.SortIdentities(c.members)
+	isSilent := make(map[ids.NodeID]bool)
+	for _, s := range silent {
+		isSilent[s] = true
+	}
+	for i := 1; i <= n; i++ {
+		id := ids.NodeID(i)
+		if isSilent[id] {
+			continue // exists in the composition, runs nothing
+		}
+		cfg := smr.Config{
+			GroupID: 7,
+			Epoch:   3,
+			Members: c.members,
+			Self:    id,
+			Scheme:  scheme,
+			Signer:  signers[id],
+			Send: func(to ids.NodeID, msg actor.Message) {
+				if c.drop != nil && c.drop(id, to) {
+					return
+				}
+				c.inbox[to] = append(c.inbox[to], conformEnv{from: id, msg: msg})
+			},
+			SetTimer: func(d time.Duration, data any) {
+				due := c.step + int(d.Milliseconds())/stepMillis + 1
+				c.timers[id] = append(c.timers[id], conformTimer{due: due, data: data})
+			},
+			Commit: func(op smr.Operation) {
+				c.committed[id] = append(c.committed[id], op)
+			},
+		}
+		c.replicas[id] = spec.make(cfg)
+	}
+	return c
+}
+
+// advance runs one logical step.
+func (c *conformCluster) advance() {
+	c.step++
+	// Deliver everything queued, in randomized (seeded) order, including
+	// messages generated while delivering.
+	for pass := 0; pass < 64; pass++ {
+		var targets []ids.NodeID
+		for id, q := range c.inbox {
+			if len(q) > 0 {
+				targets = append(targets, id)
+			}
+		}
+		if len(targets) == 0 {
+			break
+		}
+		for i := range targets {
+			j := c.rng.Intn(i + 1)
+			targets[i], targets[j] = targets[j], targets[i]
+		}
+		for _, id := range targets {
+			q := c.inbox[id]
+			c.inbox[id] = nil
+			r, ok := c.replicas[id]
+			if !ok {
+				continue
+			}
+			for _, e := range q {
+				r.Receive(e.from, e.msg)
+			}
+		}
+	}
+	// Fire due timers. The pending list is detached before firing: a
+	// HandleTimer callback may arm new timers (view-change escalation
+	// chains), and those must survive into the next step.
+	nodeIDs := make([]ids.NodeID, 0, len(c.timers))
+	for id := range c.timers {
+		nodeIDs = append(nodeIDs, id)
+	}
+	for _, id := range nodeIDs {
+		ts := c.timers[id]
+		c.timers[id] = nil
+		var keep []conformTimer
+		for _, tm := range ts {
+			if tm.due <= c.step {
+				if r, ok := c.replicas[id]; ok {
+					r.HandleTimer(tm.data)
+				}
+			} else {
+				keep = append(keep, tm)
+			}
+		}
+		c.timers[id] = append(c.timers[id], keep...)
+	}
+	// Synchronous round boundary.
+	if c.spec.mode == smr.ModeSync {
+		c.round++
+		for _, r := range c.replicas {
+			r.Tick(c.round)
+		}
+	}
+}
+
+// runUntil advances until cond or the step budget runs out.
+func (c *conformCluster) runUntil(cond func() bool, maxSteps int) bool {
+	for i := 0; i < maxSteps; i++ {
+		if cond() {
+			return true
+		}
+		c.advance()
+	}
+	return cond()
+}
+
+func (c *conformCluster) propose(id ids.NodeID, opID uint64, data string) {
+	c.replicas[id].Propose(smr.Operation{Proposer: id, OpID: opID, Data: []byte(data)})
+}
+
+// hasCommitted reports whether the member committed an op with the payload.
+func (c *conformCluster) hasCommitted(id ids.NodeID, data string) bool {
+	for _, op := range c.committed[id] {
+		if string(op.Data) == data {
+			return true
+		}
+	}
+	return false
+}
+
+// dedupSeq reduces a committed sequence to first occurrences of
+// (proposer, opID) — the host-side dedup rule (at-least-once engines).
+func dedupSeq(ops []smr.Operation) []smr.Operation {
+	seen := make(map[string]bool)
+	var out []smr.Operation
+	for _, op := range ops {
+		k := fmt.Sprintf("%d/%d", op.Proposer, op.OpID)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// requireAgreement asserts all given members committed identical deduped
+// sequences.
+func (c *conformCluster) requireAgreement(members ...ids.NodeID) {
+	c.t.Helper()
+	var ref []smr.Operation
+	var refID ids.NodeID
+	for i, id := range members {
+		seq := dedupSeq(c.committed[id])
+		if i == 0 {
+			ref, refID = seq, id
+			continue
+		}
+		// Prefix agreement: one member may trail the other, but the shared
+		// prefix must match exactly.
+		n := len(seq)
+		if len(ref) < n {
+			n = len(ref)
+		}
+		if !reflect.DeepEqual(ref[:n], seq[:n]) {
+			c.t.Fatalf("%s: commit sequences diverge between %v and %v:\n%v\nvs\n%v",
+				c.spec.name, refID, id, ref, seq)
+		}
+	}
+}
+
+func TestConformanceSingleProposer(t *testing.T) {
+	for _, spec := range engines() {
+		t.Run(spec.name, func(t *testing.T) {
+			c := newConformCluster(t, spec, 4)
+			c.propose(1, 1, "op-a")
+			ok := c.runUntil(func() bool {
+				for _, m := range c.members {
+					if !c.hasCommitted(m.ID, "op-a") {
+						return false
+					}
+				}
+				return true
+			}, 400)
+			if !ok {
+				t.Fatalf("%s: op not committed everywhere", spec.name)
+			}
+			c.requireAgreement(1, 2, 3, 4)
+		})
+	}
+}
+
+func TestConformanceTotalOrder(t *testing.T) {
+	for _, spec := range engines() {
+		t.Run(spec.name, func(t *testing.T) {
+			c := newConformCluster(t, spec, 4)
+			// Concurrent proposals from every member, interleaved over time.
+			for i := 0; i < 5; i++ {
+				for m := 1; m <= 4; m++ {
+					c.propose(ids.NodeID(m), uint64(100+i), fmt.Sprintf("op-%d-%d", m, i))
+				}
+				c.advance()
+			}
+			ok := c.runUntil(func() bool {
+				for _, m := range c.members {
+					if len(dedupSeq(c.committed[m.ID])) < 20 {
+						return false
+					}
+				}
+				return true
+			}, 600)
+			if !ok {
+				t.Fatalf("%s: not all 20 ops committed everywhere (have %d/%d/%d/%d)",
+					spec.name,
+					len(dedupSeq(c.committed[1])), len(dedupSeq(c.committed[2])),
+					len(dedupSeq(c.committed[3])), len(dedupSeq(c.committed[4])))
+			}
+			c.requireAgreement(1, 2, 3, 4)
+		})
+	}
+}
+
+func TestConformanceSilentMinority(t *testing.T) {
+	for _, spec := range engines() {
+		t.Run(spec.name, func(t *testing.T) {
+			// Group of 4 tolerates f=1 for both modes (sync f=1 needs g>=3;
+			// async f=1 needs g>=4). Member 4 is silent; the primary
+			// (member 1 in view 0) stays correct.
+			c := newConformCluster(t, spec, 4, 4)
+			c.propose(2, 9, "despite-silence")
+			ok := c.runUntil(func() bool {
+				return c.hasCommitted(1, "despite-silence") &&
+					c.hasCommitted(2, "despite-silence") &&
+					c.hasCommitted(3, "despite-silence")
+			}, 600)
+			if !ok {
+				t.Fatalf("%s: op did not commit with f silent members", spec.name)
+			}
+			c.requireAgreement(1, 2, 3)
+		})
+	}
+}
+
+func TestConformanceMessageLossRecovery(t *testing.T) {
+	for _, spec := range engines() {
+		t.Run(spec.name, func(t *testing.T) {
+			c := newConformCluster(t, spec, 4)
+			// Drop a third of all messages for the first 10 steps, then heal.
+			lossy := true
+			c.drop = func(from, to ids.NodeID) bool {
+				return lossy && c.rng.Intn(3) == 0
+			}
+			c.propose(3, 41, "lossy-phase")
+			for i := 0; i < 10; i++ {
+				c.advance()
+			}
+			lossy = false
+			// Both engines must converge once the network heals: dolev by
+			// round-carried retransmission, pbft by request timeout and
+			// (if the loss hit the primary) view change.
+			ok := c.runUntil(func() bool {
+				for _, m := range c.members {
+					if !c.hasCommitted(m.ID, "lossy-phase") {
+						return false
+					}
+				}
+				return true
+			}, 2000)
+			if !ok {
+				t.Fatalf("%s: op lost to transient message loss", spec.name)
+			}
+			c.requireAgreement(1, 2, 3, 4)
+		})
+	}
+}
+
+func TestConformanceStopQuiesces(t *testing.T) {
+	for _, spec := range engines() {
+		t.Run(spec.name, func(t *testing.T) {
+			c := newConformCluster(t, spec, 4)
+			c.propose(1, 1, "pre-stop")
+			c.runUntil(func() bool { return c.hasCommitted(1, "pre-stop") }, 400)
+
+			for _, r := range c.replicas {
+				r.Stop()
+			}
+			for id := range c.inbox {
+				c.inbox[id] = nil
+			}
+			// After Stop, proposals and inputs must not generate traffic.
+			c.propose(2, 2, "post-stop")
+			c.advance()
+			for id, q := range c.inbox {
+				if len(q) > 0 {
+					t.Fatalf("%s: replica sent %d messages to %v after Stop", spec.name, len(q), id)
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceCommitsAttributeProposer(t *testing.T) {
+	for _, spec := range engines() {
+		t.Run(spec.name, func(t *testing.T) {
+			c := newConformCluster(t, spec, 4)
+			c.propose(2, 77, "attributed")
+			ok := c.runUntil(func() bool { return c.hasCommitted(1, "attributed") }, 400)
+			if !ok {
+				t.Fatal("op not committed")
+			}
+			for _, op := range c.committed[1] {
+				if string(op.Data) == "attributed" {
+					if op.Proposer != 2 || op.OpID != 77 {
+						t.Fatalf("%s: committed op attributed to %v/%d, want 2/77",
+							spec.name, op.Proposer, op.OpID)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,62 @@
+package pbft
+
+// Regression tests for the generalized quorum. Volatile groups run at every
+// size between gmin and gmax, not just n = 3f+1; the textbook 2f+1 quorum is
+// unsound at the other sizes (two disjoint 2f+1 quorums can coexist and fork
+// the log under a partition). The quorum must satisfy 2q − n ≥ f+1: any two
+// quorums intersect in at least one correct member.
+
+import (
+	"fmt"
+	"testing"
+
+	"atum/internal/crypto"
+	"atum/internal/ids"
+	"atum/internal/smr"
+)
+
+func TestQuorumIntersectsForAllGroupSizes(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		cfg := testConfigN(t, n)
+		r := New(cfg, Options{})
+		f := smr.AsyncF(n)
+		if r.quorum > n {
+			t.Fatalf("n=%d: quorum %d exceeds group size", n, r.quorum)
+		}
+		if overlap := 2*r.quorum - n; overlap < f+1 {
+			t.Fatalf("n=%d f=%d: two quorums of %d may share only %d members (< f+1=%d)",
+				n, f, r.quorum, overlap, f+1)
+		}
+		// Liveness: the n−f correct members alone must form a quorum.
+		if n-f < r.quorum {
+			t.Fatalf("n=%d f=%d: quorum %d unreachable with %d correct members",
+				n, f, r.quorum, n-f)
+		}
+		// At canonical PBFT sizes the generalized quorum equals 2f+1.
+		if n == 3*f+1 && r.quorum != 2*f+1 {
+			t.Fatalf("n=%d (=3f+1): quorum %d != 2f+1 = %d", n, r.quorum, 2*f+1)
+		}
+	}
+}
+
+// testConfigN builds a minimal config with n members for quorum math tests.
+func testConfigN(t *testing.T, n int) smr.Config {
+	t.Helper()
+	scheme := crypto.SimScheme{}
+	var members []ids.Identity
+	for i := 1; i <= n; i++ {
+		s := scheme.NewSigner([]byte(fmt.Sprintf("q-%d", i)))
+		members = append(members, ids.Identity{ID: ids.NodeID(i), PubKey: s.Public()})
+	}
+	ids.SortIdentities(members)
+	return smr.Config{
+		GroupID: 1,
+		Epoch:   1,
+		Members: members,
+		Self:    1,
+		Scheme:  scheme,
+		Signer:  scheme.NewSigner([]byte("q-1")),
+		Send:    func(ids.NodeID, any) {},
+		Commit:  func(smr.Operation) {},
+	}
+}

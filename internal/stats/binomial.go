@@ -1,0 +1,65 @@
+package stats
+
+import "math"
+
+// BinomialTail returns Pr[X >= k] for X ~ B(n, p): the probability that at
+// least k of n independent trials succeed. This is the vgroup-failure model
+// of paper §3.1 — a vgroup of size g with per-node fault probability p fails
+// when more than f members are faulty, i.e. with probability
+// BinomialTail(g, f+1, p).
+func BinomialTail(n, k int, p float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	// Sum the PMF from k to n in log space for numerical stability.
+	total := 0.0
+	for i := k; i <= n; i++ {
+		total += math.Exp(logChoose(n, i) + float64(i)*math.Log(p) + float64(n-i)*math.Log(1-p))
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total
+}
+
+// logChoose returns log(n choose k) via log-gamma.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}
+
+// VGroupFailProb returns the probability that one vgroup of size g with
+// per-node fault probability p exceeds its fault bound f (paper §3.1).
+func VGroupFailProb(g, f int, p float64) float64 {
+	return BinomialTail(g, f+1, p)
+}
+
+// AllRobustProb returns the probability that every one of the system's
+// n/g vgroups stays within its fault bound, assuming uniformly scattered
+// faults (which random walk shuffling maintains, §3.2).
+func AllRobustProb(n, g, f int, p float64) float64 {
+	if g <= 0 {
+		return 0
+	}
+	groups := n / g
+	if groups < 1 {
+		groups = 1
+	}
+	fail := VGroupFailProb(g, f, p)
+	return math.Pow(1-fail, float64(groups))
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The two worked examples of paper §3.1, quoted verbatim:
+// "A vgroup with g = 4 nodes tolerates f = 1 faults and fails with
+// probability Pr[X >= 2] = 0.014 ... But a 20-node vgroup, with f = 9, will
+// fail with Pr[X >= 10] = 1.134e-8", both at per-node fault probability 0.05.
+func TestPaperSection31Examples(t *testing.T) {
+	got := VGroupFailProb(4, 1, 0.05)
+	if math.Abs(got-0.014) > 0.001 {
+		t.Fatalf("g=4 f=1 p=0.05: fail prob %.4f, paper says 0.014", got)
+	}
+	got = VGroupFailProb(20, 9, 0.05)
+	if math.Abs(got-1.134e-8)/1.134e-8 > 0.01 {
+		t.Fatalf("g=20 f=9 p=0.05: fail prob %.4g, paper says 1.134e-8", got)
+	}
+}
+
+// "In practice, we believe k = 4 is a good trade-off: Even in a system with
+// 6% simultaneous arbitrary faults, there is a probability of 0.999 of all
+// vgroups being robust." (§3.1, synchronous bound f = ⌊(g−1)/2⌋,
+// g = k·log2(N).)
+func TestPaperKEquals4Claim(t *testing.T) {
+	const p = 0.06
+	for _, n := range []int{500, 1000, 2000, 5000} {
+		g := int(4 * math.Log2(float64(n)))
+		f := (g - 1) / 2
+		got := AllRobustProb(n, g, f, p)
+		if got < 0.999 {
+			t.Fatalf("N=%d g=%d f=%d: all-robust prob %.6f < 0.999", n, g, f, got)
+		}
+	}
+}
+
+func TestBinomialTailEdges(t *testing.T) {
+	tests := []struct {
+		n, k int
+		p    float64
+		want float64
+	}{
+		{10, 0, 0.3, 1},  // at least zero successes is certain
+		{10, 11, 0.3, 0}, // more successes than trials is impossible
+		{10, 5, 0, 0},    // zero success probability
+		{10, 5, 1, 1},    // certain success
+		{1, 1, 0.25, 0.25},
+		{2, 2, 0.5, 0.25},
+	}
+	for _, tt := range tests {
+		if got := BinomialTail(tt.n, tt.k, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Fatalf("BinomialTail(%d,%d,%v) = %v, want %v", tt.n, tt.k, tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestBinomialTailProperties(t *testing.T) {
+	// Monotone: decreasing in k, increasing in p, bounded to [0,1], and the
+	// tail at k plus the complementary head equals 1.
+	property := func(nRaw, kRaw uint8, pRaw uint16) bool {
+		n := int(nRaw%30) + 1
+		k := int(kRaw) % (n + 1)
+		p := float64(pRaw%1000) / 1000
+		v := BinomialTail(n, k, p)
+		if v < 0 || v > 1 {
+			return false
+		}
+		if k < n && BinomialTail(n, k+1, p) > v+1e-12 {
+			return false
+		}
+		if p < 0.99 && BinomialTail(n, k, p+0.01) < v-1e-12 {
+			return false
+		}
+		// Complement: Pr[X >= k] + Pr[X <= k-1] = 1. Compute the head as
+		// 1 - tail of the complementary event with q = 1-p.
+		head := BinomialTail(n, n-k+1, 1-p)
+		return math.Abs(v+head-1) < 1e-9
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllRobustProbShape(t *testing.T) {
+	// Larger vgroups (at fixed N and fault fraction) are more robust; more
+	// faults hurt.
+	pA := AllRobustProb(1000, 10, 4, 0.05)
+	pB := AllRobustProb(1000, 20, 9, 0.05)
+	if pB <= pA {
+		t.Fatalf("larger vgroups should be more robust: g=10 %.6f vs g=20 %.6f", pA, pB)
+	}
+	pC := AllRobustProb(1000, 20, 9, 0.15)
+	if pC >= pB {
+		t.Fatalf("more faults should hurt: p=0.05 %.6f vs p=0.15 %.6f", pB, pC)
+	}
+}

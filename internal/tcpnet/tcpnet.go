@@ -1,0 +1,496 @@
+// Package tcpnet carries Atum traffic between real-time runtimes over TCP —
+// the node layer's "network transport protocol for reliable inter-node
+// message transmission" (paper §3, Figure 1) for deployments that span
+// processes or hosts.
+//
+// Wire format: each connection starts with a hello frame identifying the
+// dialing node, then carries length-prefixed gob-encoded envelopes. One
+// outbound connection per destination address is cached and re-dialed on
+// failure; inbound connections are accepted concurrently. Message types are
+// registered by core.RegisterMessages (the Transport's owner must call it —
+// atum.RegisterWireMessages — before traffic flows; applications register
+// their own raw-message types on top).
+//
+// Addresses come from the actor.AddrBook flow: the engine reports every
+// (node ID, address) pair it learns from compositions and join handshakes,
+// so the transport can dial nodes it has never talked to.
+package tcpnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"atum/internal/actor"
+	"atum/internal/ids"
+)
+
+// Envelope is one transported message.
+type Envelope struct {
+	From ids.NodeID
+	To   ids.NodeID
+	Msg  actor.Message
+}
+
+// hello is the first frame on every outbound connection.
+type hello struct {
+	From ids.NodeID
+	Addr string // the dialer's own listen address, so the peer can dial back
+}
+
+// Options configures a Transport.
+type Options struct {
+	// ListenAddr is the TCP address to accept peer connections on
+	// (e.g. "127.0.0.1:7946", ":7946", or ":0" for an ephemeral port).
+	ListenAddr string
+	// AdvertiseAddr is the address other nodes should dial; defaults to the
+	// listener's actual address (useful with ":0").
+	AdvertiseAddr string
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write (default 10s).
+	WriteTimeout time.Duration
+	// MaxFrame bounds the size of an accepted frame (default 64 MiB).
+	MaxFrame int
+	// QueueLen is the per-destination outbound queue length (default 1024);
+	// when a destination's queue is full, messages to it are dropped —
+	// the transport is allowed to be lossy, protocols retry by timeout.
+	QueueLen int
+	// Logf, when set, receives transport debug logs.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = 64 << 20
+	}
+	if o.QueueLen <= 0 {
+		o.QueueLen = 1024
+	}
+	return o
+}
+
+// Deliverer receives inbound messages; *rtnet.Runtime implements it.
+type Deliverer interface {
+	Deliver(from, to ids.NodeID, msg actor.Message)
+}
+
+// Transport is a gob-over-TCP message carrier. It implements
+// rtnet.Transport.
+type Transport struct {
+	opts      Options
+	self      ids.NodeID
+	deliverTo Deliverer
+	listener  net.Listener
+	advertise string
+
+	mu      sync.Mutex
+	addrs   map[ids.NodeID]string
+	peers   map[string]*peer // keyed by remote address
+	inbound map[net.Conn]bool
+	closed  bool
+
+	wg sync.WaitGroup
+
+	statMu sync.Mutex
+	stats  Stats
+}
+
+// Stats counts transport-level activity.
+type Stats struct {
+	Sent        int64 // envelopes queued for transmission
+	Delivered   int64 // envelopes handed to the deliverer
+	DroppedAddr int64 // sends dropped: unknown destination address
+	DroppedQ    int64 // sends dropped: destination queue full or closed
+	Dials       int64 // outbound connection attempts
+	DialErrs    int64 // failed dials
+	Accepts     int64 // accepted inbound connections
+}
+
+// New creates a transport listening on opts.ListenAddr, delivering inbound
+// messages for any hosted node to d. self identifies the local node for
+// hello frames (use the node's ID; with several nodes behind one transport,
+// any hosted ID works — hellos only seed the peer address book).
+func New(self ids.NodeID, d Deliverer, opts Options) (*Transport, error) {
+	opts = opts.withDefaults()
+	ln, err := net.Listen("tcp", opts.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", opts.ListenAddr, err)
+	}
+	adv := opts.AdvertiseAddr
+	if adv == "" {
+		adv = ln.Addr().String()
+	}
+	t := &Transport{
+		opts:      opts,
+		self:      self,
+		deliverTo: d,
+		listener:  ln,
+		advertise: adv,
+		addrs:     make(map[ids.NodeID]string),
+		peers:     make(map[string]*peer),
+		inbound:   make(map[net.Conn]bool),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the address peers should dial (the advertise address).
+func (t *Transport) Addr() string { return t.advertise }
+
+// Stats returns a snapshot of the transport counters.
+func (t *Transport) Stats() Stats {
+	t.statMu.Lock()
+	defer t.statMu.Unlock()
+	return t.stats
+}
+
+func (t *Transport) bump(f func(*Stats)) {
+	t.statMu.Lock()
+	f(&t.stats)
+	t.statMu.Unlock()
+}
+
+// LearnAddr implements rtnet.Transport (actor.AddrBook pass-through).
+func (t *Transport) LearnAddr(id ids.NodeID, addr string) {
+	if id == 0 || addr == "" {
+		return
+	}
+	t.mu.Lock()
+	t.addrs[id] = addr
+	t.mu.Unlock()
+}
+
+// LookupAddr returns the last learned address for a node.
+func (t *Transport) LookupAddr(id ids.NodeID) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, ok := t.addrs[id]
+	return a, ok
+}
+
+// Send implements rtnet.Transport: it queues the envelope on the (possibly
+// new) connection to the destination's learned address. Unknown addresses
+// and full queues drop the message.
+func (t *Transport) Send(from, to ids.NodeID, msg actor.Message) {
+	t.bump(func(s *Stats) { s.Sent++ })
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	addr, ok := t.addrs[to]
+	if !ok || addr == t.advertise {
+		// Unknown, or it's ourselves (a hosted node the runtime should have
+		// routed locally; dropping mirrors a self-addressed datagram).
+		t.mu.Unlock()
+		t.bump(func(s *Stats) { s.DroppedAddr++ })
+		return
+	}
+	p := t.peers[addr]
+	if p == nil {
+		p = newPeer(t, addr)
+		t.peers[addr] = p
+	}
+	t.mu.Unlock()
+
+	if !p.enqueue(Envelope{From: from, To: to, Msg: msg}) {
+		t.bump(func(s *Stats) { s.DroppedQ++ })
+	}
+}
+
+// Close shuts the listener and all connections down and waits for the
+// transport's goroutines.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	peers := make([]*peer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	t.peers = make(map[string]*peer)
+	conns := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+
+	err := t.listener.Close()
+	for _, p := range peers {
+		p.close()
+	}
+	for _, c := range conns {
+		c.Close() // unblocks the readLoops
+	}
+	t.wg.Wait()
+	return err
+}
+
+// --- inbound ---
+
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.bump(func(s *Stats) { s.Accepts++ })
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = true
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *Transport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	r := newFrameReader(conn, t.opts.MaxFrame)
+
+	// Hello first: learn how to dial this peer back.
+	var h hello
+	if err := r.next(&h); err != nil {
+		t.logf("tcpnet: bad hello from %v: %v", conn.RemoteAddr(), err)
+		return
+	}
+	if h.From != 0 && h.Addr != "" {
+		t.LearnAddr(h.From, h.Addr)
+	}
+
+	for {
+		var env Envelope
+		if err := r.next(&env); err != nil {
+			if !errors.Is(err, io.EOF) {
+				t.logf("tcpnet: read from %v: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		t.bump(func(s *Stats) { s.Delivered++ })
+		t.deliverTo.Deliver(env.From, env.To, env.Msg)
+	}
+}
+
+func (t *Transport) logf(format string, args ...any) {
+	if t.opts.Logf != nil {
+		t.opts.Logf(format, args...)
+	}
+}
+
+// --- outbound peer ---
+
+// peer owns the outbound connection to one remote address: a queue, a
+// writer goroutine, and redial-on-failure.
+type peer struct {
+	t    *Transport
+	addr string
+	q    chan Envelope
+	done chan struct{}
+	once sync.Once
+}
+
+func newPeer(t *Transport, addr string) *peer {
+	p := &peer{
+		t:    t,
+		addr: addr,
+		q:    make(chan Envelope, t.opts.QueueLen),
+		done: make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go p.writeLoop()
+	return p
+}
+
+func (p *peer) enqueue(env Envelope) bool {
+	select {
+	case <-p.done:
+		return false
+	default:
+	}
+	select {
+	case p.q <- env:
+		return true
+	default:
+		return false // full: drop, protocols retry by timeout
+	}
+}
+
+func (p *peer) close() { p.once.Do(func() { close(p.done) }) }
+
+func (p *peer) writeLoop() {
+	defer p.t.wg.Done()
+	var conn net.Conn
+	var w *frameWriter
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+
+	backoff := 50 * time.Millisecond
+	for {
+		select {
+		case <-p.done:
+			return
+		case env := <-p.q:
+			for conn == nil {
+				select {
+				case <-p.done:
+					return
+				default:
+				}
+				p.t.bump(func(s *Stats) { s.Dials++ })
+				c, err := net.DialTimeout("tcp", p.addr, p.t.opts.DialTimeout)
+				if err != nil {
+					p.t.bump(func(s *Stats) { s.DialErrs++ })
+					p.t.logf("tcpnet: dial %s: %v", p.addr, err)
+					select {
+					case <-p.done:
+						return
+					case <-time.After(backoff):
+					}
+					if backoff < 2*time.Second {
+						backoff *= 2
+					}
+					continue
+				}
+				backoff = 50 * time.Millisecond
+				conn = c
+				w = newFrameWriter(conn)
+				if err := p.write(w, conn, hello{From: p.t.self, Addr: p.t.advertise}); err != nil {
+					p.t.logf("tcpnet: hello to %s: %v", p.addr, err)
+					conn.Close()
+					conn, w = nil, nil
+				}
+			}
+			if err := p.write(w, conn, env); err != nil {
+				p.t.logf("tcpnet: write to %s: %v", p.addr, err)
+				conn.Close()
+				conn, w = nil, nil
+				// The envelope is lost; later traffic redials.
+			}
+		}
+	}
+}
+
+func (p *peer) write(w *frameWriter, conn net.Conn, v any) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(p.t.opts.WriteTimeout)); err != nil {
+		return err
+	}
+	return w.write(v)
+}
+
+// --- framing ---
+//
+// Each frame is a 4-byte big-endian length followed by that many bytes of a
+// standalone gob stream. Standalone streams (a fresh encoder per frame) cost
+// a few bytes of re-sent type definitions but make frames self-contained:
+// a corrupted or oversized frame can be rejected without desynchronizing the
+// connection's type dictionary.
+
+type frameWriter struct {
+	w   io.Writer
+	buf bytes.Buffer
+}
+
+func newFrameWriter(w io.Writer) *frameWriter { return &frameWriter{w: w} }
+
+func (fw *frameWriter) write(v any) error {
+	fw.buf.Reset()
+	if err := gob.NewEncoder(&fw.buf).Encode(wireBox{V: v}); err != nil {
+		return fmt.Errorf("encode: %w", err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(fw.buf.Len()))
+	if _, err := fw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := fw.w.Write(fw.buf.Bytes())
+	return err
+}
+
+type frameReader struct {
+	r   io.Reader
+	max int
+}
+
+func newFrameReader(r io.Reader, max int) *frameReader { return &frameReader{r: r, max: max} }
+
+func (fr *frameReader) next(out any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n <= 0 || n > fr.max {
+		return fmt.Errorf("frame size %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(fr.r, body); err != nil {
+		return err
+	}
+	var box wireBox
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&box); err != nil {
+		return fmt.Errorf("decode: %w", err)
+	}
+	return assign(out, box.V)
+}
+
+// wireBox lets a frame carry any registered concrete type.
+type wireBox struct {
+	V any
+}
+
+func assign(out any, v any) error {
+	switch o := out.(type) {
+	case *hello:
+		h, ok := v.(hello)
+		if !ok {
+			return fmt.Errorf("expected hello, got %T", v)
+		}
+		*o = h
+		return nil
+	case *Envelope:
+		e, ok := v.(Envelope)
+		if !ok {
+			return fmt.Errorf("expected envelope, got %T", v)
+		}
+		*o = e
+		return nil
+	default:
+		return fmt.Errorf("unsupported frame target %T", out)
+	}
+}
+
+func init() {
+	gob.Register(hello{})
+	gob.Register(Envelope{})
+}

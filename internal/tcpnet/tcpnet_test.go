@@ -1,0 +1,251 @@
+package tcpnet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sync"
+	"testing"
+	"time"
+
+	"atum/internal/actor"
+	"atum/internal/ids"
+)
+
+func init() {
+	gob.Register(testMsg{})
+}
+
+type testMsg struct {
+	Seq  int
+	Body string
+}
+
+// sink collects delivered envelopes.
+type sink struct {
+	mu  sync.Mutex
+	got []Envelope
+	ch  chan Envelope
+}
+
+func newSink() *sink { return &sink{ch: make(chan Envelope, 4096)} }
+
+func (s *sink) Deliver(from, to ids.NodeID, msg actor.Message) {
+	env := Envelope{From: from, To: to, Msg: msg}
+	s.mu.Lock()
+	s.got = append(s.got, env)
+	s.mu.Unlock()
+	s.ch <- env
+}
+
+func (s *sink) wait(t *testing.T, n int, timeout time.Duration) []Envelope {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		s.mu.Lock()
+		if len(s.got) >= n {
+			out := append([]Envelope(nil), s.got...)
+			s.mu.Unlock()
+			return out
+		}
+		s.mu.Unlock()
+		select {
+		case <-deadline:
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			t.Fatalf("timed out: got %d envelopes, want %d", len(s.got), n)
+			return nil
+		case <-s.ch:
+		}
+	}
+}
+
+func newTestTransport(t *testing.T, self ids.NodeID, d Deliverer) *Transport {
+	t.Helper()
+	tr, err := New(self, d, Options{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := newFrameWriter(&buf)
+	want := Envelope{From: 1, To: 2, Msg: testMsg{Seq: 7, Body: "hi"}}
+	if err := w.write(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.write(hello{From: 9, Addr: "a:1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	r := newFrameReader(&buf, 1<<20)
+	var env Envelope
+	if err := r.next(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.From != 1 || env.To != 2 || env.Msg != (testMsg{Seq: 7, Body: "hi"}) {
+		t.Fatalf("got %+v", env)
+	}
+	var h hello
+	if err := r.next(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.From != 9 || h.Addr != "a:1" {
+		t.Fatalf("got %+v", h)
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	w := newFrameWriter(&buf)
+	if err := w.write(Envelope{Msg: testMsg{Body: string(make([]byte, 4096))}}); err != nil {
+		t.Fatal(err)
+	}
+	r := newFrameReader(&buf, 16)
+	var env Envelope
+	if err := r.next(&env); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestFrameTypeMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	w := newFrameWriter(&buf)
+	if err := w.write(hello{From: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r := newFrameReader(&buf, 1<<20)
+	var env Envelope
+	if err := r.next(&env); err == nil {
+		t.Fatal("hello decoded as envelope")
+	}
+}
+
+func TestSendBetweenTransports(t *testing.T) {
+	sa, sb := newSink(), newSink()
+	ta := newTestTransport(t, 1, sa)
+	tb := newTestTransport(t, 2, sb)
+
+	ta.LearnAddr(2, tb.Addr())
+	ta.Send(1, 2, testMsg{Seq: 1, Body: "over tcp"})
+	got := sb.wait(t, 1, 10*time.Second)
+	if got[0].From != 1 || got[0].To != 2 || got[0].Msg != (testMsg{Seq: 1, Body: "over tcp"}) {
+		t.Fatalf("got %+v", got[0])
+	}
+}
+
+func TestDialBackViaHello(t *testing.T) {
+	sa, sb := newSink(), newSink()
+	ta := newTestTransport(t, 1, sa)
+	tb := newTestTransport(t, 2, sb)
+
+	// Only A knows B. After A's first message, B learns A's address from the
+	// hello frame and can reply without any manual LearnAddr.
+	ta.LearnAddr(2, tb.Addr())
+	ta.Send(1, 2, testMsg{Seq: 1})
+	sb.wait(t, 1, 10*time.Second)
+
+	if _, ok := tb.LookupAddr(1); !ok {
+		t.Fatal("B did not learn A's address from hello")
+	}
+	tb.Send(2, 1, testMsg{Seq: 2})
+	got := sa.wait(t, 1, 10*time.Second)
+	if got[0].Msg != (testMsg{Seq: 2}) {
+		t.Fatalf("got %+v", got[0])
+	}
+}
+
+func TestUnknownDestinationDropped(t *testing.T) {
+	sa := newSink()
+	ta := newTestTransport(t, 1, sa)
+	ta.Send(1, 42, testMsg{})
+	waitStat(t, func() bool { return ta.Stats().DroppedAddr == 1 })
+}
+
+func TestManyMessagesInOrder(t *testing.T) {
+	sa, sb := newSink(), newSink()
+	ta := newTestTransport(t, 1, sa)
+	tb := newTestTransport(t, 2, sb)
+	ta.LearnAddr(2, tb.Addr())
+
+	const total = 500
+	for i := 0; i < total; i++ {
+		ta.Send(1, 2, testMsg{Seq: i})
+	}
+	got := sb.wait(t, total, 30*time.Second)
+	for i, env := range got {
+		if env.Msg.(testMsg).Seq != i {
+			t.Fatalf("message %d out of order: %+v", i, env)
+		}
+	}
+}
+
+func TestReconnectAfterPeerRestart(t *testing.T) {
+	sa, sb := newSink(), newSink()
+	ta := newTestTransport(t, 1, sa)
+
+	tb, err := New(2, sb, Options{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB := tb.Addr()
+	ta.LearnAddr(2, addrB)
+	ta.Send(1, 2, testMsg{Seq: 1})
+	sb.wait(t, 1, 10*time.Second)
+
+	// Restart B on the same address.
+	if err := tb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sb2 := newSink()
+	tb2, err := New(2, sb2, Options{ListenAddr: addrB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb2.Close()
+
+	// A's cached connection is dead; sends redial until B answers. Some
+	// messages may be lost in between — that is the transport contract.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		ta.Send(1, 2, testMsg{Seq: 2})
+		select {
+		case <-sb2.ch:
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no delivery after peer restart")
+		}
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	sa := newSink()
+	tr, err := New(1, sa, Options{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Sends after close are silently dropped.
+	tr.Send(1, 2, testMsg{})
+}
+
+func waitStat(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("stat condition not reached")
+}

@@ -1,0 +1,193 @@
+// Package wire implements a small deterministic binary codec.
+//
+// Atum signs several kinds of payloads (Dolev-Strong slot values, random-walk
+// certificates, join requests, stream digests). Signatures require canonical
+// bytes, so the types involved marshal themselves through this codec rather
+// than through reflection-based encoders whose output may vary.
+//
+// The format is: fixed-width big-endian integers, and length-prefixed byte
+// strings (uint32 length). It is intentionally not self-describing; both ends
+// know the schema.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrShortBuffer is returned by Decoder methods when the input is exhausted.
+var ErrShortBuffer = errors.New("wire: short buffer")
+
+// ErrTrailingBytes is returned by Decoder.Finish when input remains.
+var ErrTrailingBytes = errors.New("wire: trailing bytes")
+
+// maxLen bounds length prefixes to protect decoders from hostile inputs.
+const maxLen = 1 << 28 // 256 MiB
+
+// Marshaler is implemented by types that serialize through the wire codec.
+type Marshaler interface {
+	MarshalWire(e *Encoder)
+}
+
+// Encode marshals a value to its canonical bytes.
+func Encode(m Marshaler) []byte {
+	var e Encoder
+	m.MarshalWire(&e)
+	return e.Bytes()
+}
+
+// Encoder accumulates canonical bytes. The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded bytes accumulated so far.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes accumulated so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Uint64 appends a big-endian uint64.
+func (e *Encoder) Uint64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// Uint32 appends a big-endian uint32.
+func (e *Encoder) Uint32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// Int64 appends a big-endian int64 (two's complement).
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Byte appends a single byte.
+func (e *Encoder) Byte(v byte) { e.buf = append(e.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Byte(1)
+	} else {
+		e.Byte(0)
+	}
+}
+
+// Bytes32 appends a fixed 32-byte array without a length prefix.
+func (e *Encoder) Bytes32(v [32]byte) { e.buf = append(e.buf, v[:]...) }
+
+// VarBytes appends a uint32 length prefix followed by the bytes.
+func (e *Encoder) VarBytes(v []byte) {
+	e.Uint32(uint32(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(v string) {
+	e.Uint32(uint32(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// Decoder consumes canonical bytes produced by Encoder. Methods record the
+// first error; callers may check Err once after a batch of reads.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a Decoder over buf. The Decoder does not copy buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first error encountered, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Finish returns an error if decoding failed or input remains.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("%w: %d bytes remain", ErrTrailingBytes, len(d.buf)-d.off)
+	}
+	return nil
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.err = ErrShortBuffer
+		return nil
+	}
+	out := d.buf[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+// Uint64 reads a big-endian uint64.
+func (d *Decoder) Uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Uint32 reads a big-endian uint32.
+func (d *Decoder) Uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// Int64 reads a big-endian int64.
+func (d *Decoder) Int64() int64 { return int64(d.Uint64()) }
+
+// Byte reads one byte.
+func (d *Decoder) Byte() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads one byte as a boolean.
+func (d *Decoder) Bool() bool { return d.Byte() != 0 }
+
+// Bytes32 reads a fixed 32-byte array.
+func (d *Decoder) Bytes32() (out [32]byte) {
+	b := d.take(32)
+	if b != nil {
+		copy(out[:], b)
+	}
+	return out
+}
+
+// VarBytes reads a length-prefixed byte string. The result is a copy.
+func (d *Decoder) VarBytes() []byte {
+	n := d.Uint32()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxLen {
+		d.err = fmt.Errorf("wire: length %d exceeds limit", n)
+		return nil
+	}
+	b := d.take(int(n))
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	return string(d.VarBytes())
+}

@@ -1,0 +1,174 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	var e Encoder
+	e.Uint64(0xdeadbeefcafef00d)
+	e.Uint32(42)
+	e.Int64(-17)
+	e.Byte(0xab)
+	e.Bool(true)
+	e.Bool(false)
+
+	d := NewDecoder(e.Bytes())
+	if got := d.Uint64(); got != 0xdeadbeefcafef00d {
+		t.Errorf("Uint64 = %x", got)
+	}
+	if got := d.Uint32(); got != 42 {
+		t.Errorf("Uint32 = %d", got)
+	}
+	if got := d.Int64(); got != -17 {
+		t.Errorf("Int64 = %d", got)
+	}
+	if got := d.Byte(); got != 0xab {
+		t.Errorf("Byte = %x", got)
+	}
+	if got := d.Bool(); !got {
+		t.Error("Bool #1 = false, want true")
+	}
+	if got := d.Bool(); got {
+		t.Error("Bool #2 = true, want false")
+	}
+	if err := d.Finish(); err != nil {
+		t.Errorf("Finish: %v", err)
+	}
+}
+
+func TestRoundTripBytes(t *testing.T) {
+	var e Encoder
+	e.VarBytes([]byte("hello"))
+	e.VarBytes(nil)
+	e.String("world")
+	var fixed [32]byte
+	fixed[0], fixed[31] = 1, 2
+	e.Bytes32(fixed)
+
+	d := NewDecoder(e.Bytes())
+	if got := d.VarBytes(); !bytes.Equal(got, []byte("hello")) {
+		t.Errorf("VarBytes = %q", got)
+	}
+	if got := d.VarBytes(); len(got) != 0 {
+		t.Errorf("empty VarBytes = %q", got)
+	}
+	if got := d.String(); got != "world" {
+		t.Errorf("String = %q", got)
+	}
+	if got := d.Bytes32(); got != fixed {
+		t.Errorf("Bytes32 = %v", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Errorf("Finish: %v", err)
+	}
+}
+
+func TestShortBuffer(t *testing.T) {
+	d := NewDecoder([]byte{1, 2, 3})
+	_ = d.Uint64()
+	if !errors.Is(d.Err(), ErrShortBuffer) {
+		t.Errorf("Err = %v, want ErrShortBuffer", d.Err())
+	}
+	// Subsequent reads keep failing without panicking.
+	_ = d.VarBytes()
+	_ = d.Bytes32()
+	if !errors.Is(d.Finish(), ErrShortBuffer) {
+		t.Errorf("Finish = %v, want ErrShortBuffer", d.Finish())
+	}
+}
+
+func TestTrailingBytes(t *testing.T) {
+	var e Encoder
+	e.Uint32(1)
+	e.Uint32(2)
+	d := NewDecoder(e.Bytes())
+	_ = d.Uint32()
+	if !errors.Is(d.Finish(), ErrTrailingBytes) {
+		t.Errorf("Finish = %v, want ErrTrailingBytes", d.Finish())
+	}
+}
+
+func TestHostileLength(t *testing.T) {
+	var e Encoder
+	e.Uint32(1 << 30) // declared length far beyond the buffer and the cap
+	d := NewDecoder(e.Bytes())
+	if got := d.VarBytes(); got != nil {
+		t.Errorf("VarBytes = %v, want nil", got)
+	}
+	if d.Err() == nil {
+		t.Error("expected error for hostile length")
+	}
+}
+
+func TestVarBytesCopies(t *testing.T) {
+	var e Encoder
+	e.VarBytes([]byte{1, 2, 3})
+	buf := e.Bytes()
+	d := NewDecoder(buf)
+	got := d.VarBytes()
+	buf[4] = 99 // mutate the underlying encoded byte
+	if got[0] != 1 {
+		t.Error("VarBytes result aliases the input buffer")
+	}
+}
+
+type pair struct {
+	A uint64
+	B []byte
+}
+
+func (p pair) MarshalWire(e *Encoder) {
+	e.Uint64(p.A)
+	e.VarBytes(p.B)
+}
+
+func TestEncodeHelper(t *testing.T) {
+	b := Encode(pair{A: 7, B: []byte{1}})
+	d := NewDecoder(b)
+	if d.Uint64() != 7 {
+		t.Error("A mismatch")
+	}
+	if got := d.VarBytes(); len(got) != 1 || got[0] != 1 {
+		t.Error("B mismatch")
+	}
+	if err := d.Finish(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(a uint64, b uint32, s string, raw []byte, flag bool) bool {
+		var e Encoder
+		e.Uint64(a)
+		e.Uint32(b)
+		e.String(s)
+		e.VarBytes(raw)
+		e.Bool(flag)
+		d := NewDecoder(e.Bytes())
+		okA := d.Uint64() == a
+		okB := d.Uint32() == b
+		okS := d.String() == s
+		okR := bytes.Equal(d.VarBytes(), raw)
+		okF := d.Bool() == flag
+		return okA && okB && okS && okR && okF && d.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	enc := func() []byte {
+		var e Encoder
+		e.Uint64(5)
+		e.String("abc")
+		return e.Bytes()
+	}
+	if !bytes.Equal(enc(), enc()) {
+		t.Error("encoding is not deterministic")
+	}
+}

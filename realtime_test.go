@@ -1,0 +1,212 @@
+package atum_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"atum"
+)
+
+// collector gathers deliveries from one real-time node.
+type collector struct {
+	mu   sync.Mutex
+	got  [][]byte
+	want map[string]bool
+}
+
+func (c *collector) deliver(d atum.Delivery) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.got = append(c.got, d.Data)
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.got)
+}
+
+func waitCond(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestRealtimeClusterBroadcast runs a real wall-clock Atum cluster in
+// process: bootstrap, a few joins, then a broadcast that must reach every
+// member. This exercises the same engine as the simulator but on the
+// goroutine runtime with real ed25519 signatures.
+func TestRealtimeClusterBroadcast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time cluster test (seconds of wall clock)")
+	}
+	rt := atum.NewRealtimeRuntime(atum.RealtimeOptions{Seed: 42})
+	defer rt.Close()
+
+	const n = 5
+	cols := make([]*collector, n)
+	nodes := make([]*atum.Node, n)
+	for i := 0; i < n; i++ {
+		c := &collector{}
+		cols[i] = c
+		node, err := rt.AddNode(atum.Callbacks{Deliver: c.deliver})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+	}
+
+	if err := rt.Bootstrap(nodes[0]); err != nil {
+		t.Fatal(err)
+	}
+	contact := nodes[0].Identity()
+	for i := 1; i < n; i++ {
+		if err := rt.Join(nodes[i], contact); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		i := i
+		waitCond(t, "join of node", 30*time.Second, func() bool { return rt.IsMember(nodes[i]) })
+	}
+
+	if err := rt.Broadcast(nodes[0], []byte("hello real time")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		waitCond(t, "delivery", 30*time.Second, func() bool { return cols[i].count() >= 1 })
+		cols[i].mu.Lock()
+		if string(cols[i].got[0]) != "hello real time" {
+			t.Fatalf("node %d delivered %q", i, cols[i].got[0])
+		}
+		cols[i].mu.Unlock()
+	}
+}
+
+// TestRealtimeChurn drives leave/rejoin churn on the wall-clock runtime
+// while a publisher keeps broadcasting: the real-time analogue of the
+// paper's §6.1.2 churn experiment at smoke scale.
+func TestRealtimeChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time cluster test (seconds of wall clock)")
+	}
+	rt := atum.NewRealtimeRuntime(atum.RealtimeOptions{Seed: 11})
+	defer rt.Close()
+
+	const base = 6
+	cols := make([]*collector, 0, base)
+	nodes := make([]*atum.Node, 0, base)
+	addNode := func() (*atum.Node, *collector) {
+		c := &collector{}
+		n, err := rt.AddNode(atum.Callbacks{Deliver: c.deliver})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n, c
+	}
+	for i := 0; i < base; i++ {
+		n, c := addNode()
+		nodes = append(nodes, n)
+		cols = append(cols, c)
+	}
+	if err := rt.Bootstrap(nodes[0]); err != nil {
+		t.Fatal(err)
+	}
+	contact := nodes[0].Identity()
+	for _, n := range nodes[1:] {
+		if err := rt.Join(n, contact); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range nodes[1:] {
+		n := n
+		waitCond(t, "initial join", 60*time.Second, func() bool { return rt.IsMember(n) })
+	}
+
+	// Churn: each round one node leaves, a fresh one joins, and the
+	// publisher broadcasts.
+	sent := 0
+	for round := 0; round < 4; round++ {
+		victim := nodes[len(nodes)-1]
+		nodes = nodes[:len(nodes)-1]
+		cols = cols[:len(cols)-1]
+		if err := rt.Leave(victim); err == nil {
+			waitCond(t, "leave", 60*time.Second, func() bool { return !rt.IsMember(victim) })
+		}
+		rt.Remove(victim)
+
+		fresh, c := addNode()
+		if err := rt.Join(fresh, contact); err != nil {
+			t.Fatal(err)
+		}
+		waitCond(t, "churn join", 60*time.Second, func() bool { return rt.IsMember(fresh) })
+		nodes = append(nodes, fresh)
+		cols = append(cols, c)
+
+		if err := rt.Broadcast(nodes[0], []byte("tick")); err != nil {
+			t.Fatal(err)
+		}
+		sent++
+	}
+
+	// Every current member eventually holds all broadcasts sent after it
+	// joined; the publisher (never churned) must have all of them.
+	waitCond(t, "publisher deliveries", 60*time.Second, func() bool { return cols[0].count() >= sent })
+	// The last broadcast reaches every current member.
+	for i := range nodes {
+		i := i
+		waitCond(t, "final delivery", 60*time.Second, func() bool { return cols[i].count() >= 1 })
+	}
+}
+
+// TestRealtimeLeave checks the leave protocol on the wall-clock runtime.
+func TestRealtimeLeave(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time cluster test (seconds of wall clock)")
+	}
+	rt := atum.NewRealtimeRuntime(atum.RealtimeOptions{Seed: 7})
+	defer rt.Close()
+
+	var leftMu sync.Mutex
+	left := ""
+	n0, err := rt.AddNode(atum.Callbacks{Deliver: func(atum.Delivery) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err := rt.AddNode(atum.Callbacks{
+		Deliver: func(atum.Delivery) {},
+		OnLeft: func(reason string) {
+			leftMu.Lock()
+			left = reason
+			leftMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Bootstrap(n0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Join(n1, n0.Identity()); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "join", 30*time.Second, func() bool { return rt.IsMember(n1) })
+
+	if err := rt.Leave(n1); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "leave", 30*time.Second, func() bool {
+		leftMu.Lock()
+		defer leftMu.Unlock()
+		return left != ""
+	})
+	waitCond(t, "group shrink", 30*time.Second, func() bool { return rt.GroupSize(n0) == 1 })
+}
