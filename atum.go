@@ -23,6 +23,23 @@
 // API ship with the repository: asub (publish/subscribe), ashare (file
 // sharing), and astream (data streaming).
 //
+// # Gossip batching
+//
+// The dissemination phase (§3.3.4) batches by default: all gossip payloads a
+// member forwards to the same neighbor vgroup within one flush window leave
+// as a single batch group message, cutting per-link message counts and
+// framing bytes by roughly the number of concurrent broadcasts. Receivers
+// unpack batches and process every inner broadcast individually, so Deliver
+// and Forward semantics are identical with batching on or off. Three Config
+// knobs control it:
+//
+//   - GossipMaxBatch: payloads coalesced per destination (default 64;
+//     1 disables batching and restores one message per broadcast per link)
+//   - GossipMaxBatchBytes: byte budget that forces an early flush
+//     (default 256 KiB)
+//   - GossipFlushInterval: the ModeAsync flush window (default 5 ms;
+//     ModeSync flushes at every lockstep round tick instead)
+//
 // Nodes are actors: they run on a runtime that delivers messages and timers.
 // Two runtimes are provided — the deterministic discrete-event simulator
 // (atum.NewSimCluster, internal/simnet) used by the evaluation harness, and

@@ -193,6 +193,10 @@ type addedMember struct {
 // send their share of the notifications and snapshots.
 func (n *Node) reconfigure(newMembers []ids.Identity, cause reconfigCause, added []addedMember) {
 	st := n.st
+	// Pending gossip batches were enqueued — and their inner MsgIDs derived —
+	// under the closing epoch; send them stamped with it before the bump, or
+	// receivers would tally our votes under a composition we never used.
+	n.flushGossip()
 	old := st.comp.Clone()
 	members := ids.CloneIdentities(newMembers)
 	ids.SortIdentities(members)

@@ -216,6 +216,23 @@ type Config struct {
 	// ReplyMode selects the walk reply mechanism; defaults per Mode
 	// (sync→backward, async→certificates).
 	ReplyMode WalkReplyMode
+	// GossipMaxBatch caps how many gossip payloads bound for the same
+	// neighbor vgroup are coalesced into one batch group message (§3.3.4's
+	// dissemination phase is the hot path under concurrent broadcasts).
+	// 0 selects the default (64); 1 disables batching entirely and
+	// reproduces the one-message-per-broadcast-per-link behaviour exactly.
+	GossipMaxBatch int
+	// GossipMaxBatchBytes caps the payload bytes of one gossip batch; a
+	// destination whose pending payloads exceed it is flushed immediately.
+	// 0 selects the default (256 KiB).
+	GossipMaxBatchBytes int
+	// GossipFlushInterval is the batching window in ModeAsync: the first
+	// payload enqueued for any destination arms a flush timer with this
+	// delay, so concurrent broadcasts within the window share batches. In
+	// ModeSync the window is the lockstep round itself (batches flush at
+	// every round tick, which is when sends depart anyway) and this field
+	// is ignored. 0 selects the default (5 ms, a few LAN round trips).
+	GossipFlushInterval time.Duration
 	// Behavior injects Byzantine behaviour for experiments.
 	Behavior Behavior
 	// DisableShuffle turns off post-reconfiguration shuffling (ablation).
@@ -252,6 +269,20 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Behavior == 0 {
 		c.Behavior = BehaviorCorrect
+	}
+	if c.GossipMaxBatch <= 0 {
+		c.GossipMaxBatch = 64
+	}
+	if c.GossipMaxBatch > group.MaxBatchItems {
+		// Receivers reject frames above the group-layer item limit outright;
+		// an over-configured sender would lose every full batch it emits.
+		c.GossipMaxBatch = group.MaxBatchItems
+	}
+	if c.GossipMaxBatchBytes <= 0 {
+		c.GossipMaxBatchBytes = 256 << 10
+	}
+	if c.GossipFlushInterval <= 0 {
+		c.GossipFlushInterval = 5 * time.Millisecond
 	}
 	if c.ReplyMode == 0 {
 		if c.Mode == smr.ModeAsync {

@@ -7,6 +7,7 @@ import (
 	"atum/internal/group"
 	"atum/internal/ids"
 	"atum/internal/overlay"
+	"atum/internal/smr"
 )
 
 // Broadcast disseminates a message to every node in the system (§3.3.4).
@@ -16,6 +17,9 @@ import (
 func (n *Node) Broadcast(data []byte) error {
 	if n.phase != phaseMember || n.st == nil {
 		return ErrNotMember
+	}
+	if len(data) > MaxBroadcastBytes {
+		return ErrBroadcastTooLarge
 	}
 	n.opSeq++
 	id := crypto.Hash([]byte("atum-bcast"))
@@ -55,10 +59,12 @@ func (n *Node) handleGossip(acc group.Accepted, p gossipPayload) {
 }
 
 // forwardGossip offers every overlay link to the Forward callback and sends
-// this member's share of the chosen group messages. The default (nil
-// callback) floods all cycles in both directions, which is the
-// latency-optimal configuration the paper's ASub experiments use; AStream
-// restricts forwarding to one or two cycles (§6.3).
+// (or, with batching, enqueues) this member's share of the chosen group
+// messages. The default (nil callback) floods all cycles in both directions,
+// which is the latency-optimal configuration the paper's ASub experiments
+// use; AStream restricts forwarding to one or two cycles (§6.3). The Forward
+// decision is always taken here, per broadcast per link — batching changes
+// only how the chosen sends are framed, never which sends are chosen.
 func (n *Node) forwardGossip(d Delivery) {
 	st := n.st
 	if st == nil {
@@ -78,8 +84,137 @@ func (n *Node) forwardGossip(d Delivery) {
 			}
 			sent[nbr.Key()] = true
 			msgID := gossipMsgID(d.BcastID, st.comp, nbr.GroupID)
-			group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, nbr,
-				kindGossip, msgID, payload)
+			n.enqueueGossip(nbr, msgID, payload)
+		}
+	}
+}
+
+// --- per-destination gossip batching (send side) ---
+//
+// Under k concurrent broadcasts, the unbatched dissemination phase costs k
+// full group messages per overlay link per hop: k× the framing and k×|dst|
+// per-member sends. The aggregator coalesces every gossip payload bound for
+// the same neighbor composition within the flush window into one
+// kindGossipBatch carrier. Correctness needs no cross-member coordination:
+// the receiver votes each inner payload into its inbox under the payload's
+// own MsgID, so members whose windows cut differently still converge (see
+// internal/group/batch.go).
+
+// pendingBatch accumulates gossip payloads for one destination composition.
+type pendingBatch struct {
+	dst   group.Composition // destination as of enqueue time
+	items []group.BatchItem
+	bytes int // payload + framing bytes accumulated
+}
+
+// gossipFlushTimer drives the ModeAsync flush window.
+type gossipFlushTimer struct{}
+
+// enqueueGossip adds one gossip payload to the destination's pending batch,
+// flushing immediately when the batch is full. With GossipMaxBatch == 1 this
+// degenerates to the unbatched path: the payload is sent synchronously as a
+// plain kindGossip message, bit-identical to the pre-batching engine.
+func (n *Node) enqueueGossip(dst group.Composition, msgID crypto.Digest, payload []byte) {
+	if n.cfg.GossipMaxBatch <= 1 {
+		st := n.st
+		if st == nil {
+			return
+		}
+		group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, dst,
+			kindGossip, msgID, payload)
+		return
+	}
+	k := dst.Key()
+	p, ok := n.gossipPend[k]
+	if !ok {
+		p = &pendingBatch{dst: dst.Clone()}
+		n.gossipPend[k] = p
+		n.gossipOrder = append(n.gossipOrder, k)
+	}
+	p.items = append(p.items, group.BatchItem{Kind: kindGossip, MsgID: msgID, Payload: payload})
+	p.bytes += len(payload) + group.BatchWireOverhead
+	if len(p.items) >= n.cfg.GossipMaxBatch || p.bytes >= n.cfg.GossipMaxBatchBytes {
+		n.flushGossipDst(k)
+		return
+	}
+	// ModeSync flushes at the round tick (sends are round-quantized anyway);
+	// ModeAsync arms a window timer on the first pending payload.
+	if n.cfg.Mode != smr.ModeSync && !n.gossipFlushArmed {
+		n.gossipFlushArmed = true
+		n.env.SetTimer(n.cfg.GossipFlushInterval, gossipFlushTimer{})
+	}
+}
+
+// flushGossip sends every pending batch. It runs at round ticks (ModeSync),
+// at window-timer expiry (ModeAsync), and — critically — at the top of every
+// reconfiguration: pending payloads and their MsgIDs were derived under the
+// current epoch, and must leave stamped with it before the epoch bumps.
+func (n *Node) flushGossip() {
+	for len(n.gossipOrder) > 0 {
+		n.flushGossipDst(n.gossipOrder[0])
+	}
+}
+
+// flushGossipDst sends one destination's pending batch. Single-payload
+// batches are unwrapped into plain kindGossip messages: the batch frame would
+// only add overhead.
+func (n *Node) flushGossipDst(k group.Key) {
+	p, ok := n.gossipPend[k]
+	if !ok {
+		return
+	}
+	delete(n.gossipPend, k)
+	for i := range n.gossipOrder {
+		if n.gossipOrder[i] == k {
+			n.gossipOrder = append(n.gossipOrder[:i], n.gossipOrder[i+1:]...)
+			break
+		}
+	}
+	st := n.st
+	if st == nil {
+		return
+	}
+	if len(p.items) == 1 {
+		group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, p.dst,
+			kindGossip, p.items[0].MsgID, p.items[0].Payload)
+		return
+	}
+	n.gossipSeq++
+	group.SendBatch(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, p.dst,
+		kindGossipBatch, batchMsgID(st.comp, k.GroupID, n.cfg.Identity.ID, n.gossipSeq), p.items)
+}
+
+// batchMsgID identifies one batch carrier. It is unique per sender, not
+// matched across members: inner MsgIDs carry the logical identities.
+func batchMsgID(src group.Composition, dst ids.GroupID, self ids.NodeID, seq uint64) crypto.Digest {
+	d := crypto.Hash([]byte("atum-gbatch"))
+	d = crypto.HashUint64(d, uint64(src.GroupID))
+	d = crypto.HashUint64(d, src.Epoch)
+	d = crypto.HashUint64(d, uint64(dst))
+	d = crypto.HashUint64(d, uint64(self))
+	d = crypto.HashUint64(d, seq)
+	return d
+}
+
+// handleGossipBatch unpacks a batch carrier and votes every inner payload
+// into the inbox as if it had arrived as a separate message from the same
+// link-authenticated sender. Dedup, delivery, and re-forwarding then follow
+// the ordinary per-broadcast path, so Forward-callback semantics hold per
+// inner broadcast, not per batch. Only gossip may ride batches: other kinds
+// have node-addressed or certificate-mode handling that must not be
+// reachable through a carrier.
+func (n *Node) handleGossipBatch(from ids.NodeID, m group.GroupMsg) {
+	inner, err := group.UnpackBatch(m)
+	if err != nil {
+		n.logf("gossip batch from %v: %v", from, err)
+		return
+	}
+	for _, im := range inner {
+		if im.Kind != kindGossip {
+			continue
+		}
+		if acc, ok := n.inbox.Observe(n.env.Now(), from, im); ok {
+			n.handleAccepted(acc)
 		}
 	}
 }
@@ -164,8 +299,17 @@ func (n *Node) maybeRefreshSender(m group.GroupMsg) {
 	if last, ok := n.freshSent[srcKey]; ok && now-last < 4*n.cfg.RoundDuration {
 		return
 	}
+	// Evict only entries past the suppression window: recreating the whole
+	// map would forget rate-limit state written moments ago and re-open the
+	// refresh-storm window this cache exists to close. A flood of forged
+	// source keys can keep every entry inside the window, so a hard cap
+	// still bounds memory — the wholesale reset survives only as that
+	// under-attack fallback.
 	if len(n.freshSent) > 256 {
-		n.freshSent = make(map[group.Key]time.Duration)
+		pruneStale(n.freshSent, now, 4*n.cfg.RoundDuration)
+		if len(n.freshSent) > 1024 {
+			n.freshSent = make(map[group.Key]time.Duration)
+		}
 	}
 	n.freshSent[srcKey] = now
 	srcComp, ok := n.lookupComp(srcKey)
@@ -184,4 +328,14 @@ func freshMsgID(cur group.Composition, to ids.GroupID) crypto.Digest {
 	d = crypto.HashUint64(d, cur.Epoch)
 	d = crypto.HashUint64(d, uint64(to))
 	return d
+}
+
+// pruneStale evicts rate-limiter entries whose timestamp fell outside the
+// window; live entries survive, keeping suppression intact under overflow.
+func pruneStale[K comparable](m map[K]time.Duration, now, window time.Duration) {
+	for k, at := range m {
+		if now-at >= window {
+			delete(m, k)
+		}
+	}
 }

@@ -17,7 +17,16 @@ var (
 	ErrNotMember = errors.New("core: node is not a vgroup member")
 	// ErrBusy is returned when the node is mid-lifecycle (joining/leaving).
 	ErrBusy = errors.New("core: operation already in progress")
+	// ErrBroadcastTooLarge is returned by Broadcast for payloads the wire
+	// framing cannot carry; rejecting at the caller keeps oversized data
+	// from reaching (and faulting) remote forwarders.
+	ErrBroadcastTooLarge = errors.New("core: broadcast payload too large")
 )
+
+// MaxBroadcastBytes bounds one broadcast payload. The gossip frame encodes
+// payloads through the wire codec, whose hard length limit is 256 MiB; the
+// bound leaves ample headroom for envelope overhead.
+const MaxBroadcastBytes = 128 << 20
 
 // Bootstrap creates a new Atum instance consisting of a single vgroup
 // containing only this node (§3.3.1). The vgroup is its own neighbor on
@@ -293,6 +302,9 @@ func (n *Node) adoptSnapshot(acc group.Accepted, p snapshotPayload) {
 // snapshot and restarts SMR on it. Shared by snapshot adoption (joins,
 // exchanges, merges) and epoch catch-up.
 func (n *Node) installGroupState(st *groupState) {
+	// Epoch catch-up can replace the state of a member with gossip batches
+	// still pending under the old epoch; send them stamped with it first.
+	n.flushGossip()
 	if n.replica != nil {
 		n.replica.Stop()
 		n.replica = nil

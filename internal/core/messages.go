@@ -114,6 +114,10 @@ const (
 	kindMergeReject
 	kindSnapshot
 	kindJoinRedirect
+	// kindGossipBatch is a carrier of several gossip payloads bound for the
+	// same neighbor vgroup; the receiver unpacks it and votes each inner
+	// payload into its inbox individually (see internal/group batching).
+	kindGossipBatch
 )
 
 // --- group message payloads (gob-encoded; must stay map-free so encoding

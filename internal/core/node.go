@@ -83,12 +83,18 @@ type Node struct {
 	ownPend map[crypto.Digest]smr.Operation
 	opSeq   uint64
 
-	round        uint64
-	outQ         []queuedSend
-	lastHB       time.Duration
-	hbSeen       map[ids.NodeID]time.Duration
-	evProp       map[ids.NodeID]uint64 // eviction proposed for target at epoch
-	byzEvictLast time.Duration
+	round uint64
+	outQ  []queuedSend
+	// Per-destination gossip batching (see gossip.go): pending payloads by
+	// destination composition key, in first-enqueue order.
+	gossipPend       map[group.Key]*pendingBatch
+	gossipOrder      []group.Key
+	gossipFlushArmed bool // ModeAsync window timer pending
+	gossipSeq        uint64
+	lastHB           time.Duration
+	hbSeen           map[ids.NodeID]time.Duration
+	evProp           map[ids.NodeID]uint64 // eviction proposed for target at epoch
+	byzEvictLast     time.Duration
 
 	seen  map[crypto.Digest]bool
 	seenQ []crypto.Digest
@@ -169,6 +175,7 @@ func New(cfg Config) *Node {
 		walkDeadlines:  make(map[crypto.Digest]time.Duration),
 		lastChains:     make(map[crypto.Digest][]overlay.StepCert),
 		freshSent:      make(map[group.Key]time.Duration),
+		gossipPend:     make(map[group.Key]*pendingBatch),
 		pen:            make(map[group.Key][]penMsg),
 		snapShares:     make(map[snapShareKey]*snapTally),
 		recentSnaps:    make(map[uint64][]byte),
@@ -253,6 +260,9 @@ func (n *Node) Timer(_ actor.TimerID, data any) {
 	switch t := data.(type) {
 	case tickTimer:
 		n.handleTick()
+	case gossipFlushTimer:
+		n.gossipFlushArmed = false
+		n.flushGossip()
 	case smrTimer:
 		if n.replica != nil && t.epoch == n.replicaEpoch && !n.byzActive() {
 			n.replica.HandleTimer(t.data)
@@ -293,6 +303,10 @@ func (n *Node) Receive(from ids.NodeID, msg actor.Message) {
 
 func (n *Node) routeGroupMsg(from ids.NodeID, m group.GroupMsg) {
 	if m.Kind == kindSnapshot && n.observeCatchUpShare(from, m) {
+		return
+	}
+	if m.Kind == kindGossipBatch {
+		n.handleGossipBatch(from, m)
 		return
 	}
 	if n.cfg.ReplyMode == ReplyCertificates {
@@ -340,6 +354,12 @@ func (n *Node) handleTick() {
 	now := n.env.Now()
 	n.round = uint64(now / n.cfg.RoundDuration)
 	n.env.SetTimer(n.cfg.RoundDuration, tickTimer{})
+
+	// The lockstep round is the ModeSync batching window: frame pending
+	// gossip batches first so they depart with this round's quantized flush.
+	if n.cfg.Mode == smr.ModeSync {
+		n.flushGossip()
+	}
 
 	// Flush round-quantized group messages (synchronous mode: one overlay
 	// hop per round, like the paper's round-based Sync implementation).
@@ -475,7 +495,10 @@ func (n *Node) reShareSnapshot(to ids.NodeID, stuckEpoch uint64) {
 		return
 	}
 	if len(n.reShared) > 256 {
-		n.reShared = make(map[ids.NodeID]time.Duration)
+		pruneStale(n.reShared, now, 4*n.cfg.RoundDuration)
+		if len(n.reShared) > 1024 {
+			n.reShared = make(map[ids.NodeID]time.Duration) // hard cap under flooding
+		}
 	}
 	n.reShared[to] = now
 	group.SendToNode(n.sendNow, oldComp, n.cfg.Identity.ID, to,

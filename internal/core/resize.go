@@ -115,6 +115,9 @@ func (n *Node) applySplit(o splitOp) {
 
 // installSplitHalf moves this member into the freshly split-off vgroup.
 func (n *Node) installSplitHalf(eComp group.Composition, eNbrs overlay.Neighbors, dComp group.Composition) {
+	// Pending gossip batches were enqueued under the parent composition;
+	// they must leave stamped with it, not with the split-off group's.
+	n.flushGossip()
 	if n.replica != nil {
 		n.replica.Stop()
 		n.replica = nil
@@ -267,6 +270,9 @@ func (n *Node) applyMergeAccept(p mergeAcceptPayload) {
 		return
 	}
 	n.logf("dissolving %v/%d into %v", st.comp.GroupID, st.comp.Epoch, p.Absorber.GroupID)
+	// Send pending gossip batches under the dissolving composition before the
+	// state is torn down below — they would otherwise be silently dropped.
+	n.flushGossip()
 	// Close the gap we leave on every cycle: pred and succ become each
 	// other's neighbors (§3.3.3).
 	for c := 0; c < st.nbrs.NumCycles(); c++ {

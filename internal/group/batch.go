@@ -1,0 +1,155 @@
+package group
+
+import (
+	"fmt"
+	"math/rand"
+
+	"atum/internal/crypto"
+	"atum/internal/ids"
+	"atum/internal/wire"
+)
+
+// Batching folds several logical group messages bound for the same
+// destination composition into one wire message. Crucially, the batch itself
+// carries no majority-matched identity: the receiver unpacks it and feeds
+// every inner item into its inbox as an ordinary per-sender vote for that
+// item's own MsgID. Votes therefore converge across senders even when each
+// member of the source vgroup grouped the items differently (flush windows
+// are member-local and may cut anywhere), which is what makes send-side
+// batching safe without any cross-member batch agreement.
+
+// BatchItem is one logical group message folded into a batch.
+type BatchItem struct {
+	Kind    Kind
+	MsgID   crypto.Digest
+	Payload []byte
+}
+
+// MaxBatchItems bounds how many inner items one batch frame may carry,
+// protecting receivers from hostile amplification. Send-side batch caps must
+// stay at or below it — receivers reject larger frames outright.
+const MaxBatchItems = 4096
+
+// encodeBatchFrame serializes the items. When full is true every item
+// carries its payload; otherwise items carry only the payload digest — the
+// per-item analogue of the §5.1 digest optimization, so high-index members
+// of the source composition still transmit a fraction of the bytes.
+func encodeBatchFrame(items []BatchItem, full bool) []byte {
+	var e wire.Encoder
+	e.ListLen(len(items))
+	for _, it := range items {
+		e.Byte(byte(it.Kind))
+		e.Bytes32(it.MsgID)
+		e.Bool(full)
+		if full {
+			e.VarBytes(it.Payload)
+		} else {
+			e.Bytes32(crypto.Hash(it.Payload))
+		}
+	}
+	return e.Bytes()
+}
+
+// decodedBatchItem is one inner item recovered from a batch frame. Payload is
+// nil on digest-only copies.
+type decodedBatchItem struct {
+	kind    Kind
+	msgID   crypto.Digest
+	digest  crypto.Digest
+	payload []byte
+}
+
+// decodeBatchFrame reverses encodeBatchFrame. Hostile frames (bad lengths,
+// truncation, trailing bytes, oversized item counts) return an error.
+func decodeBatchFrame(b []byte) ([]decodedBatchItem, error) {
+	d := wire.NewDecoder(b)
+	n := d.ListLen()
+	if n > MaxBatchItems {
+		return nil, fmt.Errorf("group: batch of %d items exceeds limit %d", n, MaxBatchItems)
+	}
+	items := make([]decodedBatchItem, 0, n)
+	for i := 0; i < n; i++ {
+		var it decodedBatchItem
+		it.kind = Kind(d.Byte())
+		it.msgID = d.Bytes32()
+		if d.Bool() {
+			it.payload = d.VarBytes()
+			it.digest = crypto.Hash(it.payload)
+		} else {
+			it.digest = d.Bytes32()
+		}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		items = append(items, it)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+// SendBatch transmits one batch of logical group messages from self (a member
+// of src) to every member of dst. As in Send, members with the lowest
+// ⌊N/2⌋+1 indices transmit the full payloads and the rest transmit
+// digest-only copies, and destination order is randomized against incast
+// (§5.1). batchID identifies the carrier message only; it takes no part in
+// inbox majority matching — the inner MsgIDs do.
+func SendBatch(send SendFn, rng *rand.Rand, src Composition, self ids.NodeID, dst Composition, kind Kind, batchID crypto.Digest, items []BatchItem) {
+	if len(items) == 0 {
+		return
+	}
+	if len(items) > MaxBatchItems {
+		// Receivers reject larger frames outright; as with the wire encoder,
+		// fail at the send site, where the bug is.
+		panic(fmt.Sprintf("group: batch of %d items exceeds limit %d", len(items), MaxBatchItems))
+	}
+	full := false
+	if idx := src.Index(self); idx >= 0 && idx < src.Majority() {
+		full = true
+	}
+	frame := encodeBatchFrame(items, full)
+	msg := GroupMsg{
+		SrcGroup:      src.GroupID,
+		SrcEpoch:      src.Epoch,
+		DstGroup:      dst.GroupID,
+		DstEpoch:      dst.Epoch,
+		Kind:          kind,
+		MsgID:         batchID,
+		PayloadDigest: crypto.Hash(frame),
+		Payload:       frame,
+	}
+	order := rng.Perm(len(dst.Members))
+	for _, i := range order {
+		send(dst.Members[i].ID, msg)
+	}
+}
+
+// UnpackBatch recovers the inner logical messages of a batch carrier. Each
+// returned GroupMsg inherits the carrier's source and destination headers and
+// is ready for Inbox.Observe under the same link-authenticated sender.
+func UnpackBatch(m GroupMsg) ([]GroupMsg, error) {
+	items, err := decodeBatchFrame(m.Payload)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GroupMsg, 0, len(items))
+	for _, it := range items {
+		out = append(out, GroupMsg{
+			SrcGroup:      m.SrcGroup,
+			SrcEpoch:      m.SrcEpoch,
+			DstGroup:      m.DstGroup,
+			DstEpoch:      m.DstEpoch,
+			Kind:          it.kind,
+			MsgID:         it.msgID,
+			PayloadDigest: it.digest,
+			Payload:       it.payload,
+		})
+	}
+	return out, nil
+}
+
+// BatchWireOverhead is the framing cost one full-payload item adds to a batch
+// beyond its payload bytes (kind byte + MsgID + flag + length prefix).
+// Send-side aggregators budget batch bytes with it.
+const BatchWireOverhead = 1 + crypto.DigestSize + 1 + 4

@@ -1,0 +1,204 @@
+package group
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"atum/internal/actor"
+	"atum/internal/crypto"
+	"atum/internal/ids"
+)
+
+func batchItems(payloads ...string) []BatchItem {
+	items := make([]BatchItem, 0, len(payloads))
+	for i, p := range payloads {
+		items = append(items, BatchItem{
+			Kind:    Kind(1),
+			MsgID:   crypto.HashUint64(crypto.Hash([]byte("item")), uint64(i)),
+			Payload: []byte(p),
+		})
+	}
+	return items
+}
+
+func TestBatchFrameRoundTripFull(t *testing.T) {
+	items := batchItems("alpha", "", "gamma-gamma")
+	frame := encodeBatchFrame(items, true)
+	got, err := decodeBatchFrame(frame)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("items = %d, want %d", len(got), len(items))
+	}
+	for i, it := range got {
+		if it.kind != items[i].Kind || it.msgID != items[i].MsgID {
+			t.Errorf("item %d header mismatch", i)
+		}
+		if !bytes.Equal(it.payload, items[i].Payload) {
+			t.Errorf("item %d payload = %q, want %q", i, it.payload, items[i].Payload)
+		}
+		if it.digest != crypto.Hash(items[i].Payload) {
+			t.Errorf("item %d digest not derived from payload", i)
+		}
+	}
+}
+
+func TestBatchFrameRoundTripDigestOnly(t *testing.T) {
+	items := batchItems("alpha", "beta")
+	frame := encodeBatchFrame(items, false)
+	got, err := decodeBatchFrame(frame)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i, it := range got {
+		if it.payload != nil {
+			t.Errorf("digest-only item %d carries a payload", i)
+		}
+		if it.digest != crypto.Hash(items[i].Payload) {
+			t.Errorf("item %d digest mismatch", i)
+		}
+	}
+	// Digest-only frames must be smaller than full frames for real payloads.
+	if full := encodeBatchFrame(items, true); len(frame) >= len(full)+len("alphabeta")-64 {
+		t.Logf("digest frame %dB, full frame %dB", len(frame), len(full))
+	}
+}
+
+func TestBatchFrameRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{
+		{0xFF, 0xFF, 0xFF, 0xFF},                              // absurd count
+		{0x00, 0x00, 0x00, 0x02, 0x01},                        // truncated items
+		append(encodeBatchFrame(batchItems("x"), true), 0xAA), // trailing bytes
+	} {
+		if _, err := decodeBatchFrame(b); err == nil {
+			t.Errorf("decode(%x) accepted hostile frame", b)
+		}
+	}
+	if _, err := decodeBatchFrame(nil); err == nil {
+		t.Error("empty frame must fail (missing count)")
+	}
+}
+
+// TestSendBatchDigestOptimization mirrors TestSendDigestOptimization for the
+// batch path: members with the lowest ⌊N/2⌋+1 indices send full payloads,
+// the rest digest-only copies.
+func TestSendBatchDigestOptimization(t *testing.T) {
+	src := comp(1, 1, 1, 2, 3, 4, 5)
+	dst := comp(2, 1, 10, 11, 12)
+	items := batchItems("payload-a", "payload-b")
+	rng := rand.New(rand.NewSource(1))
+	batchID := crypto.Hash([]byte("batch"))
+
+	countFull := func(self ids.NodeID) (full, digest int) {
+		var sent []GroupMsg
+		send := func(_ ids.NodeID, msg actor.Message) { sent = append(sent, msg.(GroupMsg)) }
+		SendBatch(send, rng, src, self, dst, Kind(99), batchID, items)
+		if len(sent) != dst.N() {
+			t.Fatalf("sent %d copies, want %d", len(sent), dst.N())
+		}
+		inner, err := UnpackBatch(sent[0])
+		if err != nil {
+			t.Fatalf("unpack: %v", err)
+		}
+		for _, im := range inner {
+			if im.Payload != nil {
+				full++
+			} else {
+				digest++
+			}
+			if im.SrcGroup != src.GroupID || im.DstGroup != dst.GroupID {
+				t.Error("inner item did not inherit carrier headers")
+			}
+		}
+		return full, digest
+	}
+
+	if full, _ := countFull(1); full != len(items) {
+		t.Errorf("low-index member sent %d full payloads, want %d", full, len(items))
+	}
+	if _, digest := countFull(5); digest != len(items) {
+		t.Errorf("high-index member must send digest-only items, got %d", digest)
+	}
+}
+
+// TestBatchVotesConvergeAcrossDifferentGroupings is the core safety property
+// of send-side batching: members that grouped the same logical messages
+// differently (or did not batch at all) still drive the receiver's inbox to
+// acceptance, because votes tally under the inner MsgIDs.
+func TestBatchVotesConvergeAcrossDifferentGroupings(t *testing.T) {
+	src := comp(1, 1, 1, 2, 3)
+	dst := comp(2, 1, 10)
+	items := batchItems("msg-one", "msg-two")
+	rng := rand.New(rand.NewSource(2))
+	known := map[Key]Composition{src.Key(): src}
+	ib := NewInbox(func(k Key) (Composition, bool) { c, ok := known[k]; return c, ok })
+
+	observe := func(from ids.NodeID, msg GroupMsg) []Accepted {
+		var accepted []Accepted
+		if msg.Kind == Kind(99) {
+			inner, err := UnpackBatch(msg)
+			if err != nil {
+				t.Fatalf("unpack: %v", err)
+			}
+			for _, im := range inner {
+				if acc, ok := ib.Observe(time.Second, from, im); ok {
+					accepted = append(accepted, acc)
+				}
+			}
+			return accepted
+		}
+		if acc, ok := ib.Observe(time.Second, from, msg); ok {
+			accepted = append(accepted, acc)
+		}
+		return accepted
+	}
+
+	var all []Accepted
+	// Member 1 batches both messages together.
+	SendBatch(func(_ ids.NodeID, m actor.Message) {
+		all = append(all, observe(1, m.(GroupMsg))...)
+	}, rng, src, 1, dst, Kind(99), crypto.Hash([]byte("b1")), items)
+	// Member 2 sends them unbatched (as if its flush window cut between them).
+	for _, it := range items {
+		Send(func(_ ids.NodeID, m actor.Message) {
+			all = append(all, observe(2, m.(GroupMsg))...)
+		}, rng, src, 2, dst, it.Kind, it.MsgID, it.Payload)
+	}
+
+	if len(all) != len(items) {
+		t.Fatalf("accepted %d logical messages, want %d (one per inner MsgID)", len(all), len(items))
+	}
+	seen := map[crypto.Digest]bool{}
+	for _, acc := range all {
+		seen[acc.MsgID] = true
+	}
+	for _, it := range items {
+		if !seen[it.MsgID] {
+			t.Errorf("logical message %x never accepted", it.MsgID[:4])
+		}
+	}
+}
+
+func FuzzDecodeBatchFrame(f *testing.F) {
+	f.Add(encodeBatchFrame(batchItems("a", "bb", "ccc"), true))
+	f.Add(encodeBatchFrame(batchItems("x"), false))
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00, 0x10, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		items, err := decodeBatchFrame(data)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode and decode to the same headers
+		// (full payloads re-frame identically; digest-only items lack the
+		// payload, so only check the decoded structure is self-consistent).
+		for _, it := range items {
+			if it.payload != nil && crypto.Hash(it.payload) != it.digest {
+				t.Fatal("full item digest not derived from payload")
+			}
+		}
+	})
+}

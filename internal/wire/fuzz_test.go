@@ -32,6 +32,7 @@ func FuzzDecoderNeverPanics(f *testing.F) {
 		_ = d.Bytes32()
 		_ = d.VarBytes()
 		_ = d.String()
+		_ = d.ListLen()
 		_ = d.Int64()
 		_ = d.Err()
 		_ = d.Finish()
@@ -49,6 +50,11 @@ func FuzzRoundTrip(f *testing.F) {
 		e.String(s)
 		e.VarBytes(b)
 		e.Bool(flag)
+		listLen := len(b)
+		if listLen > maxListLen {
+			listLen = maxListLen // ListLen panics above the limit by design
+		}
+		e.ListLen(listLen)
 
 		d := NewDecoder(e.Bytes())
 		if got := d.Uint64(); got != u {
@@ -62,6 +68,9 @@ func FuzzRoundTrip(f *testing.F) {
 		}
 		if got := d.Bool(); got != flag {
 			t.Fatalf("bool %v != %v", got, flag)
+		}
+		if got := d.ListLen(); got != listLen {
+			t.Fatalf("listlen %d != %d", got, listLen)
 		}
 		if err := d.Finish(); err != nil {
 			t.Fatalf("finish: %v", err)

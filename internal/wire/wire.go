@@ -23,7 +23,14 @@ var ErrShortBuffer = errors.New("wire: short buffer")
 var ErrTrailingBytes = errors.New("wire: trailing bytes")
 
 // maxLen bounds length prefixes to protect decoders from hostile inputs.
+// The encoder enforces the same bound: emitting a length the decoder is
+// guaranteed to reject would be a silent protocol failure (and lengths over
+// 4 GiB would silently truncate through the uint32 prefix), so oversized
+// values panic at the encode site, where the bug is.
 const maxLen = 1 << 28 // 256 MiB
+
+// maxListLen bounds list-length prefixes (element counts, not bytes).
+const maxListLen = 1 << 20
 
 // Marshaler is implemented by types that serialize through the wire codec.
 type Marshaler interface {
@@ -76,16 +83,32 @@ func (e *Encoder) Bool(v bool) {
 // Bytes32 appends a fixed 32-byte array without a length prefix.
 func (e *Encoder) Bytes32(v [32]byte) { e.buf = append(e.buf, v[:]...) }
 
-// VarBytes appends a uint32 length prefix followed by the bytes.
+// VarBytes appends a uint32 length prefix followed by the bytes. Values
+// longer than the decoder's limit panic: see maxLen.
 func (e *Encoder) VarBytes(v []byte) {
+	if len(v) > maxLen {
+		panic(fmt.Sprintf("wire: VarBytes length %d exceeds limit %d", len(v), maxLen))
+	}
 	e.Uint32(uint32(len(v)))
 	e.buf = append(e.buf, v...)
 }
 
-// String appends a length-prefixed string.
+// String appends a length-prefixed string. Values longer than the decoder's
+// limit panic: see maxLen.
 func (e *Encoder) String(v string) {
+	if len(v) > maxLen {
+		panic(fmt.Sprintf("wire: String length %d exceeds limit %d", len(v), maxLen))
+	}
 	e.Uint32(uint32(len(v)))
 	e.buf = append(e.buf, v...)
+}
+
+// ListLen appends a list element count. Counts above maxListLen panic.
+func (e *Encoder) ListLen(n int) {
+	if n < 0 || n > maxListLen {
+		panic(fmt.Sprintf("wire: list length %d exceeds limit %d", n, maxListLen))
+	}
+	e.Uint32(uint32(n))
 }
 
 // Decoder consumes canonical bytes produced by Encoder. Methods record the
@@ -190,4 +213,17 @@ func (d *Decoder) VarBytes() []byte {
 // String reads a length-prefixed string.
 func (d *Decoder) String() string {
 	return string(d.VarBytes())
+}
+
+// ListLen reads a list element count written by Encoder.ListLen.
+func (d *Decoder) ListLen() int {
+	n := d.Uint32()
+	if d.err != nil {
+		return 0
+	}
+	if n > maxListLen {
+		d.err = fmt.Errorf("wire: list length %d exceeds limit", n)
+		return 0
+	}
+	return int(n)
 }

@@ -172,3 +172,65 @@ func TestDeterminism(t *testing.T) {
 		t.Error("encoding is not deterministic")
 	}
 }
+
+// TestEncoderEnforcesMaxLen pins the encode/decode symmetry fix: the encoder
+// must refuse (panic on) lengths the decoder is guaranteed to reject, instead
+// of silently emitting an undecodable stream — and, for >4 GiB inputs,
+// silently truncating the uint32 length prefix.
+func TestEncoderEnforcesMaxLen(t *testing.T) {
+	oversized := make([]byte, maxLen+1)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s accepted a value above maxLen", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("VarBytes", func() {
+		var e Encoder
+		e.VarBytes(oversized)
+	})
+	mustPanic("String", func() {
+		var e Encoder
+		e.String(string(oversized))
+	})
+	mustPanic("ListLen", func() {
+		var e Encoder
+		e.ListLen(maxListLen + 1)
+	})
+	mustPanic("ListLen negative", func() {
+		var e Encoder
+		e.ListLen(-1)
+	})
+}
+
+func TestListLenRoundTrip(t *testing.T) {
+	var e Encoder
+	e.ListLen(0)
+	e.ListLen(3)
+	e.ListLen(maxListLen)
+
+	d := NewDecoder(e.Bytes())
+	for _, want := range []int{0, 3, maxListLen} {
+		if got := d.ListLen(); got != want {
+			t.Errorf("ListLen = %d, want %d", got, want)
+		}
+	}
+	if err := d.Finish(); err != nil {
+		t.Errorf("Finish: %v", err)
+	}
+}
+
+func TestListLenDecodeRejectsOversized(t *testing.T) {
+	var e Encoder
+	e.Uint32(maxListLen + 1) // forge a prefix the encoder would refuse
+	d := NewDecoder(e.Bytes())
+	if got := d.ListLen(); got != 0 {
+		t.Errorf("oversized ListLen = %d, want 0", got)
+	}
+	if d.Err() == nil {
+		t.Error("oversized list length must set the decoder error")
+	}
+}
