@@ -40,6 +40,14 @@
 //   - GossipFlushInterval: the ModeAsync flush window (default 5 ms;
 //     ModeSync flushes at every lockstep round tick instead)
 //
+// # Wire codec
+//
+// Payloads and engine messages are framed by a deterministic, tagged,
+// versioned wire codec (docs/WIRE.md) rather than encoding/gob: canonical
+// bytes for signatures and cross-member digest matching, no per-message
+// type dictionary. Config.GobEnvelope selects the legacy gob envelope for
+// one release so mixed clusters interop during migration.
+//
 // Nodes are actors: they run on a runtime that delivers messages and timers.
 // Two runtimes are provided — the deterministic discrete-event simulator
 // (atum.NewSimCluster, internal/simnet) used by the evaluation harness, and

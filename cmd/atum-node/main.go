@@ -88,6 +88,7 @@ func main() {
 	tr, err := tcpnet.New(ids.NodeID(*id), rt.RT, tcpnet.Options{
 		ListenAddr:    *listen,
 		AdvertiseAddr: *advertise,
+		Codec:         atum.WireMessageCodec(),
 		Logf:          logf,
 	})
 	if err != nil {

@@ -69,7 +69,10 @@ func (l *lateTransport) Close() error {
 func startMember(id uint64, deliver func(atum.Delivery)) (*member, error) {
 	var shim lateTransport
 	rt := atum.NewRealtimeRuntime(atum.RealtimeOptions{Seed: int64(id), Transport: &shim})
-	tr, err := tcpnet.New(ids.NodeID(id), rt.RT, tcpnet.Options{ListenAddr: "127.0.0.1:0"})
+	tr, err := tcpnet.New(ids.NodeID(id), rt.RT, tcpnet.Options{
+		ListenAddr: "127.0.0.1:0",
+		Codec:      atum.WireMessageCodec(),
+	})
 	if err != nil {
 		rt.Close()
 		return nil, err

@@ -75,14 +75,14 @@ func (n *Node) applyCommitted(op smr.Operation) {
 	case shuffleStartOp:
 		if n.st.markAppliedOp(dig) {
 			delete(n.ownPend, dig)
-			n.applyShuffleStart(o)
+			n.applyShuffleStart(dig, o)
 		}
 	case walkTimeoutOp:
 		n.tallyVote(dig, op.Proposer, func() { n.applyWalkTimeout(o) })
 	case mergeStartOp:
 		if n.st.markAppliedOp(dig) {
 			delete(n.ownPend, dig)
-			n.applyMergeStart(o)
+			n.applyMergeStart(dig, o)
 		}
 	default:
 		n.logf("apply: unknown op type %T", v)
@@ -218,7 +218,7 @@ func (n *Node) reconfigure(newMembers []ids.Identity, cause reconfigCause, added
 	// have retired the old SMR instance, leaving it unable to finish alone)
 	// installs the attested successor state instead of wedging (§7's
 	// "dangling membership" class of complications).
-	snap := encodePayload(snapshotPayload{State: st.buildSnapshot()})
+	snap := n.encPayload(snapshotPayload{State: st.buildSnapshot()})
 	for _, m := range st.comp.Members {
 		if m.ID == n.cfg.Identity.ID {
 			continue
@@ -229,7 +229,7 @@ func (n *Node) reconfigure(newMembers []ids.Identity, cause reconfigCause, added
 	n.cacheSnapshot(old.Epoch, snap)
 
 	// Tell every distinct neighbor vgroup about the new composition.
-	payload := encodePayload(neighborUpdatePayload{NewComp: st.comp.Clone()})
+	payload := n.encPayload(neighborUpdatePayload{NewComp: st.comp.Clone()})
 	notified := make(map[ids.GroupID]bool)
 	notify := func(c group.Composition) {
 		if c.GroupID == 0 || c.GroupID == old.GroupID || notified[c.GroupID] {

@@ -233,6 +233,16 @@ type Config struct {
 	// every round tick, which is when sends depart anyway) and this field
 	// is ignored. 0 selects the default (5 ms, a few LAN round trips).
 	GossipFlushInterval time.Duration
+	// GobEnvelope selects the legacy encoding/gob payload envelope instead
+	// of the deterministic wire codec (docs/WIRE.md). Interop fallback for
+	// mixed clusters while a migration is in flight: decoding always accepts
+	// both envelopes, so this knob only changes what this node emits. Group
+	// messages are digest-matched across the sending vgroup, so during a
+	// migration the nodes still on gob should be a minority of every vgroup
+	// (or a majority — either side of the threshold works; an even split of
+	// a small vgroup can starve acceptance). Will be removed one release
+	// after the wire codec ships.
+	GobEnvelope bool
 	// Behavior injects Byzantine behaviour for experiments.
 	Behavior Behavior
 	// DisableShuffle turns off post-reconfiguration shuffling (ablation).

@@ -70,7 +70,7 @@ func (n *Node) forwardGossip(d Delivery) {
 	if st == nil {
 		return
 	}
-	payload := encodePayload(gossipPayload{BcastID: d.BcastID, Origin: d.Origin, Data: d.Data, Hops: d.Hops + 1})
+	payload := n.encPayload(gossipPayload{BcastID: d.BcastID, Origin: d.Origin, Data: d.Data, Hops: d.Hops + 1})
 	sent := make(map[group.Key]bool)
 	for c := 0; c < st.nbrs.NumCycles(); c++ {
 		for _, dir := range []overlay.Direction{overlay.Pred, overlay.Succ} {
@@ -252,12 +252,12 @@ func (n *Node) applyCycleAssign(p cycleAssignPayload) {
 	// Close the gap we leave behind (unless we were between the same
 	// groups already, or self-looped).
 	if oldPred.GroupID != st.comp.GroupID && oldPred.GroupID != p.Pred.GroupID {
-		pl := encodePayload(setNeighborPayload{Cycle: p.Cycle, Dir: overlay.Succ, Comp: oldSucc.Clone()})
+		pl := n.encPayload(setNeighborPayload{Cycle: p.Cycle, Dir: overlay.Succ, Comp: oldSucc.Clone()})
 		group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, oldPred,
 			kindSetNeighbor, setNbrMsgID(st.comp, oldPred.GroupID, p.Cycle, overlay.Succ), pl)
 	}
 	if oldSucc.GroupID != st.comp.GroupID && oldSucc.GroupID != p.Succ.GroupID {
-		pl := encodePayload(setNeighborPayload{Cycle: p.Cycle, Dir: overlay.Pred, Comp: oldPred.Clone()})
+		pl := n.encPayload(setNeighborPayload{Cycle: p.Cycle, Dir: overlay.Pred, Comp: oldPred.Clone()})
 		group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, oldSucc,
 			kindSetNeighbor, setNbrMsgID(st.comp, oldSucc.GroupID, p.Cycle, overlay.Pred), pl)
 	}
@@ -316,7 +316,7 @@ func (n *Node) maybeRefreshSender(m group.GroupMsg) {
 	if !ok || srcComp.N() == 0 {
 		return
 	}
-	payload := encodePayload(neighborUpdatePayload{NewComp: st.comp.Clone()})
+	payload := n.encPayload(neighborUpdatePayload{NewComp: st.comp.Clone()})
 	msgID := freshMsgID(st.comp, m.SrcGroup)
 	group.Send(n.sendGroupQuantized, n.env.Rand(), oldComp, n.cfg.Identity.ID, srcComp,
 		kindNeighborUpdate, msgID, payload)

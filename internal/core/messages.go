@@ -120,8 +120,9 @@ const (
 	kindGossipBatch
 )
 
-// --- group message payloads (gob-encoded; must stay map-free so encoding
-// is deterministic across members) ---
+// --- group message payloads (wire-envelope encoded — see wirecodec.go and
+// docs/WIRE.md; must stay map-free so the legacy gob fallback encoding is
+// deterministic across members too) ---
 
 // gossipPayload carries one broadcast hop between vgroups.
 type gossipPayload struct {
@@ -421,11 +422,46 @@ type envelope struct {
 	V any
 }
 
-// encodePayload gob-encodes a payload struct. Payload structs are map-free,
-// so the encoding is deterministic — all members of a vgroup produce
-// byte-identical payloads for the same logical value, which is what the
-// group-message digest matching and op content-dedup rely on.
+// kindPayloads maps every group-message kind to a prototype of the payload
+// type it carries. It is the registry the codecs are checked against: a new
+// kind* constant without an entry here (or a payload type missing from
+// registerGob / the wire tag table) is caught by TestKindPayloadRegistry.
+// kindGossipBatch is absent by design — its payload is a group-layer batch
+// frame (internal/group), not an enveloped engine payload.
+var kindPayloads = map[group.Kind]any{
+	kindGossip:          gossipPayload{},
+	kindWalk:            walkPayload{},
+	kindWalkBackward:    backwardPayload{},
+	kindWalkResult:      walkResult{},
+	kindNeighborUpdate:  neighborUpdatePayload{},
+	kindSetNeighbor:     setNeighborPayload{},
+	kindCycleAssign:     cycleAssignPayload{},
+	kindExchangeConfirm: exchangeConfirmPayload{},
+	kindExchangeCancel:  exchangeCancelPayload{},
+	kindMergeRequest:    mergeRequestPayload{},
+	kindMergeAccept:     mergeAcceptPayload{},
+	kindMergeReject:     mergeRejectPayload{},
+	kindSnapshot:        snapshotPayload{},
+	kindJoinRedirect:    joinRedirectPayload{},
+}
+
+// encodePayload encodes a payload struct through the deterministic wire
+// envelope (see wirecodec.go): all members of a vgroup produce byte-identical
+// payloads for the same logical value, which is what the group-message digest
+// matching and op content-dedup rely on.
 func encodePayload(v any) []byte {
+	b, ok := encodeWire(v)
+	if !ok {
+		// Only engine-defined types reach here; failure is a bug.
+		panic(fmt.Sprintf("core: encode %T: not a wire-codable payload", v))
+	}
+	return b
+}
+
+// encodePayloadGob is the legacy gob envelope, kept for one release behind
+// Config.GobEnvelope so mixed clusters interop during migration. Payload
+// structs are map-free, so gob encoding is deterministic too.
+func encodePayloadGob(v any) []byte {
 	registerGob()
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(envelope{V: v}); err != nil {
@@ -435,8 +471,29 @@ func encodePayload(v any) []byte {
 	return buf.Bytes()
 }
 
-// decodePayload reverses encodePayload.
+// encPayload encodes a payload with this node's configured envelope. The
+// decode side is codec-agnostic, so nodes with different settings interop —
+// see decodePayload.
+func (n *Node) encPayload(v any) []byte {
+	if n.cfg.GobEnvelope {
+		return encodePayloadGob(v)
+	}
+	return encodePayload(v)
+}
+
+// decodePayload reverses encodePayload and encodePayloadGob. The two
+// envelopes are distinguished by the first byte: wire frames start with the
+// 0x00 magic, gob streams never do (their first byte is a nonzero message
+// length). Receivers therefore decode both regardless of their own
+// Config.GobEnvelope setting, which is what lets mixed clusters interop
+// while a migration is in flight.
 func decodePayload(b []byte) (any, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("core: decode payload: empty")
+	}
+	if b[0] == wireEnvMagic {
+		return decodeWire(b)
+	}
 	registerGob()
 	var env envelope
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&env); err != nil {

@@ -703,7 +703,7 @@ func (n *Node) proposeOp(v any) {
 	if n.replica == nil || n.st == nil {
 		return
 	}
-	data := encodePayload(v)
+	data := n.encPayload(v)
 	dig := opDigest(data)
 	if n.st.appliedOps[dig] {
 		return

@@ -75,7 +75,7 @@ func (n *Node) applySplit(o splitOp) {
 			eNbrs.Succs[c] = dComp.Clone()
 		} else {
 			eNbrs.Succs[c] = oldSucc.Clone()
-			pl := encodePayload(setNeighborPayload{Cycle: c, Dir: overlay.Pred, Comp: eComp.Clone()})
+			pl := n.encPayload(setNeighborPayload{Cycle: c, Dir: overlay.Pred, Comp: eComp.Clone()})
 			group.Send(n.sendGroupQuantized, n.env.Rand(), old, n.cfg.Identity.ID, oldSucc,
 				kindSetNeighbor, setNbrMsgID(old, oldSucc.GroupID, c, overlay.Pred), pl)
 		}
@@ -154,7 +154,7 @@ func (n *Node) applySplitInsert(p walkPayload) {
 	st.nbrs.Succs[p.Cycle] = e.Clone()
 	// Tell the old successor its new predecessor, and give E its position.
 	if oldSucc.GroupID != st.comp.GroupID {
-		pl := encodePayload(setNeighborPayload{Cycle: p.Cycle, Dir: overlay.Pred, Comp: e.Clone()})
+		pl := n.encPayload(setNeighborPayload{Cycle: p.Cycle, Dir: overlay.Pred, Comp: e.Clone()})
 		group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, oldSucc,
 			kindSetNeighbor, setNbrMsgID(st.comp, oldSucc.GroupID, p.Cycle, overlay.Pred), pl)
 	}
@@ -162,7 +162,7 @@ func (n *Node) applySplitInsert(p walkPayload) {
 	if oldSucc.GroupID == st.comp.GroupID {
 		succForE = st.comp
 	}
-	assign := encodePayload(cycleAssignPayload{Cycle: p.Cycle, Pred: st.comp.Clone(), Succ: succForE.Clone()})
+	assign := n.encPayload(cycleAssignPayload{Cycle: p.Cycle, Pred: st.comp.Clone(), Succ: succForE.Clone()})
 	group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, e,
 		kindCycleAssign, cycleAssignMsgID(st.comp, e.GroupID, p.Cycle), assign)
 	if oldSucc.GroupID == st.comp.GroupID {
@@ -173,8 +173,10 @@ func (n *Node) applySplitInsert(p walkPayload) {
 // --- merge ---
 
 // applyMergeStart begins a merge attempt: pick a neighbor and ask it to
-// absorb us.
-func (n *Node) applyMergeStart(o mergeStartOp) {
+// absorb us. dig is the committed op's content digest; the target choice is
+// derived from the agreed bytes, never from a local re-encoding (the
+// envelope is a per-node codec choice during migration).
+func (n *Node) applyMergeStart(dig crypto.Digest, o mergeStartOp) {
 	st := n.st
 	if st == nil || o.Epoch != st.comp.Epoch || st.busy {
 		return
@@ -186,7 +188,6 @@ func (n *Node) applyMergeStart(o mergeStartOp) {
 	if len(neighbors) == 0 {
 		return
 	}
-	dig := opDigest(encodePayload(o))
 	target := neighbors[prfPick(dig, 0x9e3779b9, len(neighbors))]
 	targetComp := n.latestNeighborComp(target)
 	if targetComp.N() == 0 {
@@ -200,7 +201,7 @@ func (n *Node) applyMergeStart(o mergeStartOp) {
 	})
 	n.walkDeadlines[mergeID] = n.env.Now() + n.cfg.WalkTimeout
 	n.logf("merge attempt %d: %v -> %v", st.mergeAttempt, st.comp.GroupID, target)
-	pl := encodePayload(mergeRequestPayload{From: st.comp.Clone()})
+	pl := n.encPayload(mergeRequestPayload{From: st.comp.Clone()})
 	group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, targetComp,
 		kindMergeRequest, mergeMsgID(st.comp, target), pl)
 }
@@ -228,7 +229,7 @@ func (n *Node) applyMergeRequest(src group.Key, p mergeRequestPayload) {
 	}
 	n.learnComp(p.From)
 	if st.busy {
-		pl := encodePayload(mergeRejectPayload{Busy: true})
+		pl := n.encPayload(mergeRejectPayload{Busy: true})
 		group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, p.From,
 			kindMergeReject, mergeMsgID(st.comp, p.From.GroupID), pl)
 		return
@@ -236,7 +237,7 @@ func (n *Node) applyMergeRequest(src group.Key, p mergeRequestPayload) {
 	n.emit(EventMerge, p.From.N())
 	// Accept: absorb every member; the accept tells the dissolving vgroup
 	// (and its members) that our old composition attests their snapshots.
-	accept := encodePayload(mergeAcceptPayload{Absorber: st.comp.Clone()})
+	accept := n.encPayload(mergeAcceptPayload{Absorber: st.comp.Clone()})
 	group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, p.From,
 		kindMergeAccept, mergeMsgID(st.comp, p.From.GroupID), accept)
 
@@ -278,12 +279,12 @@ func (n *Node) applyMergeAccept(p mergeAcceptPayload) {
 	for c := 0; c < st.nbrs.NumCycles(); c++ {
 		pred, succ := st.nbrs.Preds[c], st.nbrs.Succs[c]
 		if pred.GroupID != st.comp.GroupID {
-			pl := encodePayload(setNeighborPayload{Cycle: c, Dir: overlay.Succ, Comp: succ.Clone()})
+			pl := n.encPayload(setNeighborPayload{Cycle: c, Dir: overlay.Succ, Comp: succ.Clone()})
 			group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, pred,
 				kindSetNeighbor, setNbrMsgID(st.comp, pred.GroupID, c, overlay.Succ), pl)
 		}
 		if succ.GroupID != st.comp.GroupID {
-			pl := encodePayload(setNeighborPayload{Cycle: c, Dir: overlay.Pred, Comp: pred.Clone()})
+			pl := n.encPayload(setNeighborPayload{Cycle: c, Dir: overlay.Pred, Comp: pred.Clone()})
 			group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, succ,
 				kindSetNeighbor, setNbrMsgID(st.comp, succ.GroupID, c, overlay.Pred), pl)
 		}

@@ -15,8 +15,11 @@ import (
 // the exchange, which *suppresses* it — the effect Fig. 13 measures under
 // aggressive growth.
 
-// applyShuffleStart begins a whole-group shuffle.
-func (n *Node) applyShuffleStart(o shuffleStartOp) {
+// applyShuffleStart begins a whole-group shuffle. dig is the committed op's
+// content digest: the shuffle order is derived from the bytes the SMR layer
+// agreed on, never from a local re-encoding (whose envelope is a per-node
+// codec choice during migration — see Config.GobEnvelope).
+func (n *Node) applyShuffleStart(dig crypto.Digest, o shuffleStartOp) {
 	st := n.st
 	if st == nil || st.shuffle != nil || o.Epoch != st.comp.Epoch {
 		return
@@ -31,8 +34,7 @@ func (n *Node) applyShuffleStart(o shuffleStartOp) {
 		n.processPendingJoins()
 		return
 	}
-	seed := opDigest(encodePayload(o))
-	seed = crypto.Hash(seed[:], []byte("shuffle-order"))
+	seed := crypto.Hash(dig[:], []byte("shuffle-order"))
 	st.busy = true
 	st.shuffle = &shuffleState{
 		Epoch:     o.Epoch,
@@ -115,7 +117,7 @@ func (n *Node) finishExchange(wo walkOrigin, res walkResult) {
 		// Our member vanished (eviction race) or theirs is somehow already
 		// here; release the partner's reservation.
 		n.learnComp(res.Target)
-		pl := encodePayload(exchangeCancelPayload{WalkID: wo.WalkID})
+		pl := n.encPayload(exchangeCancelPayload{WalkID: wo.WalkID})
 		group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, res.Target,
 			kindExchangeCancel, replyMsgID(wo.WalkID, 7), pl)
 		st.shuffle.Suppressed++
@@ -130,7 +132,7 @@ func (n *Node) finishExchange(wo walkOrigin, res walkResult) {
 
 	// Tell the partner vgroup to perform its half, stamped with our
 	// pre-exchange composition.
-	confirm := encodePayload(exchangeConfirmPayload{
+	confirm := n.encPayload(exchangeConfirmPayload{
 		WalkID:    wo.WalkID,
 		Partner:   incoming,
 		Member:    outgoing,

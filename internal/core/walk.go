@@ -100,14 +100,14 @@ func (n *Node) forwardWalk(p walkPayload, chain []overlay.StepCert) {
 		p.Path = append(p.Path, st.comp.Key())
 		var attach []byte
 		if n.cfg.ReplyMode == ReplyCertificates {
-			attach = encodePayload(walkAttachment{
+			attach = n.encPayload(walkAttachment{
 				Chain:   chain,
 				StepSig: overlay.SignStep(n.signer, n.cfg.Identity.ID, p.WalkID, len(chain), dst),
 			})
 		}
 		msgID := walkMsgID(p.WalkID, stepIdx, dst.GroupID)
 		group.SendAttach(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, dst,
-			kindWalk, msgID, encodePayload(p), attach)
+			kindWalk, msgID, n.encPayload(p), attach)
 		return
 	}
 }
@@ -115,7 +115,7 @@ func (n *Node) forwardWalk(p walkPayload, chain []overlay.StepCert) {
 // selfArrival handles a walk that terminates at this vgroup while being
 // forwarded locally: each member proposes the arrival for agreement.
 func (n *Node) selfArrival(p walkPayload) {
-	payload := encodePayload(p)
+	payload := n.encPayload(p)
 	n.proposeOp(inputVoteOp{
 		Kind:    kindWalk,
 		MsgID:   walkMsgID(p.WalkID, len(p.Rands)-1, n.st.comp.GroupID),
@@ -272,8 +272,8 @@ func (n *Node) applyWalkArrival(dig crypto.Digest, src group.Key, p walkPayload)
 // to the joiner (certificate mode), with its chain attached.
 func (n *Node) sendJoinRedirect(joiner ids.NodeID, walkID crypto.Digest) {
 	st := n.st
-	payload := encodePayload(joinRedirectPayload{WalkID: walkID, Target: st.comp.Clone()})
-	attach := encodePayload(walkAttachment{Chain: n.lastChains[walkID]})
+	payload := n.encPayload(joinRedirectPayload{WalkID: walkID, Target: st.comp.Clone()})
+	attach := n.encPayload(walkAttachment{Chain: n.lastChains[walkID]})
 	msg := group.GroupMsg{
 		SrcGroup:      st.comp.GroupID,
 		SrcEpoch:      st.comp.Epoch,
@@ -290,11 +290,11 @@ func (n *Node) sendJoinRedirect(joiner ids.NodeID, walkID crypto.Digest) {
 // reply with certificates or by the backward phase (§5.1).
 func (n *Node) sendWalkReply(p walkPayload, res walkResult) {
 	st := n.st
-	payload := encodePayload(res)
+	payload := n.encPayload(res)
 	if n.cfg.ReplyMode == ReplyCertificates {
 		var attach []byte
 		if chain, ok := n.lastChains[p.WalkID]; ok {
-			attach = encodePayload(walkAttachment{Chain: chain})
+			attach = n.encPayload(walkAttachment{Chain: chain})
 		}
 		msg := group.GroupMsg{
 			SrcGroup:      st.comp.GroupID,
@@ -336,7 +336,7 @@ func (n *Node) relayBackward(bp backwardPayload) {
 		return // route lost (rare reconfiguration race; origin times out)
 	}
 	group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, next,
-		kindWalkBackward, replyMsgID(bp.WalkID, hop), encodePayload(bp))
+		kindWalkBackward, replyMsgID(bp.WalkID, hop), n.encPayload(bp))
 }
 
 // handleBackward relays a backward-phase reply; at the origin it becomes an
@@ -349,7 +349,7 @@ func (n *Node) handleBackward(acc group.Accepted, bp backwardPayload) {
 	if len(bp.Path) == 0 {
 		// We are the origin.
 		n.proposeOp(inputVoteOp{Kind: kindWalkResult, MsgID: acc.MsgID, Src: acc.Src,
-			Payload: encodePayload(bp.Result)})
+			Payload: n.encPayload(bp.Result)})
 		return
 	}
 	n.relayBackward(bp)
@@ -413,7 +413,7 @@ func (n *Node) applyWalkResult(res walkResult) {
 		// reserved itself for us.
 		if res.Purpose == PurposeShuffle && res.Accept && res.Target.N() > 0 {
 			n.learnComp(res.Target)
-			pl := encodePayload(exchangeCancelPayload{WalkID: res.WalkID})
+			pl := n.encPayload(exchangeCancelPayload{WalkID: res.WalkID})
 			group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, res.Target,
 				kindExchangeCancel, replyMsgID(res.WalkID, 7), pl)
 		}
@@ -429,7 +429,7 @@ func (n *Node) applyWalkResult(res walkResult) {
 		st.busy = false
 		if n.cfg.ReplyMode == ReplyBackward && res.Target.N() > 0 {
 			// Backward mode: we (the contact vgroup) relay the redirect.
-			payload := encodePayload(joinRedirectPayload{WalkID: res.WalkID, Target: res.Target.Clone()})
+			payload := n.encPayload(joinRedirectPayload{WalkID: res.WalkID, Target: res.Target.Clone()})
 			group.SendToNode(n.sendNow, st.comp, n.cfg.Identity.ID, wo.Joiner.ID,
 				kindJoinRedirect, replyMsgID(res.WalkID, 998), payload)
 		}

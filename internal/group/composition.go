@@ -53,9 +53,7 @@ func (c Composition) MarshalWire(e *wire.Encoder) {
 	e.Uint64(c.Epoch)
 	e.Uint64(uint64(len(c.Members)))
 	for _, m := range c.Members {
-		e.Uint64(uint64(m.ID))
-		e.String(m.Addr)
-		e.VarBytes(m.PubKey)
+		m.MarshalWire(e)
 	}
 }
 
@@ -70,9 +68,7 @@ func (c *Composition) UnmarshalWire(d *wire.Decoder) {
 	c.Members = make([]ids.Identity, 0, n)
 	for i := 0; i < n; i++ {
 		var m ids.Identity
-		m.ID = ids.NodeID(d.Uint64())
-		m.Addr = d.String()
-		m.PubKey = d.VarBytes()
+		m.UnmarshalWire(d)
 		c.Members = append(c.Members, m)
 	}
 }

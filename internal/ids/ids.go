@@ -6,6 +6,8 @@ package ids
 import (
 	"fmt"
 	"sort"
+
+	"atum/internal/wire"
 )
 
 // NodeID uniquely identifies a node in the system. In the simulated runtime
@@ -49,6 +51,22 @@ func (id Identity) Equal(other Identity) bool {
 
 // String implements fmt.Stringer.
 func (id Identity) String() string { return id.ID.String() }
+
+// MarshalWire implements wire.Marshaler. The encoding is canonical: every
+// layer that hashes or signs identities (compositions, join requests, walk
+// certificates) relies on all members producing identical bytes.
+func (id Identity) MarshalWire(e *wire.Encoder) {
+	e.Uint64(uint64(id.ID))
+	e.String(id.Addr)
+	e.VarBytes(id.PubKey)
+}
+
+// UnmarshalWire decodes an identity encoded by MarshalWire.
+func (id *Identity) UnmarshalWire(d *wire.Decoder) {
+	id.ID = NodeID(d.Uint64())
+	id.Addr = d.String()
+	id.PubKey = d.VarBytes()
+}
 
 // SortIdentities sorts a slice of identities by NodeID in place.
 // Group compositions are canonically ordered this way so that every member

@@ -31,6 +31,7 @@ import (
 	"atum/internal/crypto"
 	"atum/internal/ids"
 	"atum/internal/smr"
+	"atum/internal/wire"
 )
 
 // SigEntry is one link of a Dolev-Strong signature chain.
@@ -48,6 +49,37 @@ type SlotMsg struct {
 	Sender     ids.NodeID
 	Ops        []smr.Operation
 	Sigs       []SigEntry
+}
+
+// MarshalWire implements wire.Marshaler (byte-level transport framing).
+func (m SlotMsg) MarshalWire(e *wire.Encoder) {
+	e.Uint64(uint64(m.GroupID))
+	e.Uint64(m.Epoch)
+	e.Uint64(m.StartRound)
+	e.Uint64(uint64(m.Sender))
+	smr.MarshalOps(e, m.Ops)
+	e.ListLen(len(m.Sigs))
+	for _, s := range m.Sigs {
+		e.Uint64(uint64(s.Node))
+		e.VarBytes(s.Sig)
+	}
+}
+
+// UnmarshalWire decodes a SlotMsg encoded by MarshalWire.
+func (m *SlotMsg) UnmarshalWire(d *wire.Decoder) {
+	m.GroupID = ids.GroupID(d.Uint64())
+	m.Epoch = d.Uint64()
+	m.StartRound = d.Uint64()
+	m.Sender = ids.NodeID(d.Uint64())
+	m.Ops = smr.UnmarshalOps(d)
+	n := d.ListLen()
+	m.Sigs = nil
+	for i := 0; i < n && d.Err() == nil; i++ {
+		var s SigEntry
+		s.Node = ids.NodeID(d.Uint64())
+		s.Sig = d.VarBytes()
+		m.Sigs = append(m.Sigs, s)
+	}
 }
 
 // WireSize implements actor.Sizer for the bandwidth model.

@@ -16,6 +16,7 @@ import (
 	"atum/internal/actor"
 	"atum/internal/crypto"
 	"atum/internal/ids"
+	"atum/internal/wire"
 )
 
 // Operation is a unit of agreement: an opaque payload attributed to the
@@ -25,6 +26,41 @@ type Operation struct {
 	Proposer ids.NodeID
 	OpID     uint64
 	Data     []byte
+}
+
+// MarshalWire implements wire.Marshaler (byte-level transport framing).
+func (op Operation) MarshalWire(e *wire.Encoder) {
+	e.Uint64(uint64(op.Proposer))
+	e.Uint64(op.OpID)
+	e.VarBytes(op.Data)
+}
+
+// UnmarshalWire decodes an Operation encoded by MarshalWire.
+func (op *Operation) UnmarshalWire(d *wire.Decoder) {
+	op.Proposer = ids.NodeID(d.Uint64())
+	op.OpID = d.Uint64()
+	op.Data = d.VarBytes()
+}
+
+// MarshalOps encodes a list of operations (shared by the SMR engines'
+// message codecs).
+func MarshalOps(e *wire.Encoder, ops []Operation) {
+	e.ListLen(len(ops))
+	for _, op := range ops {
+		op.MarshalWire(e)
+	}
+}
+
+// UnmarshalOps decodes a list written by MarshalOps.
+func UnmarshalOps(d *wire.Decoder) []Operation {
+	n := d.ListLen()
+	var ops []Operation
+	for i := 0; i < n && d.Err() == nil; i++ {
+		var op Operation
+		op.UnmarshalWire(d)
+		ops = append(ops, op)
+	}
+	return ops
 }
 
 // CommitFn receives operations in the total order decided by the replica

@@ -22,7 +22,7 @@ func FuzzFrameReaderNeverPanics(f *testing.F) {
 	f.Add(append([]byte{0, 0, 0, 8}, bytes.Repeat([]byte{0xAA}, 8)...)) // garbage gob
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		r := newFrameReader(bytes.NewReader(data), 1<<16)
+		r := newFrameReader(bytes.NewReader(data), 1<<16, nil)
 		for i := 0; i < 4; i++ {
 			var h hello
 			if err := r.next(&h); err != nil {
@@ -41,7 +41,7 @@ func FuzzFrameLengthBound(f *testing.F) {
 		binary.BigEndian.PutUint32(hdr[:], claimed)
 		buf.Write(hdr[:])
 		buf.Write(body)
-		r := newFrameReader(&buf, max)
+		r := newFrameReader(&buf, max, nil)
 		var env Envelope
 		err := r.next(&env)
 		if int(claimed) > max && err == nil {

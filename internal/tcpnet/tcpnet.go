@@ -3,10 +3,14 @@
 // message transmission" (paper §3, Figure 1) for deployments that span
 // processes or hosts.
 //
-// Wire format: each connection starts with a hello frame identifying the
-// dialing node, then carries length-prefixed gob-encoded envelopes. One
-// outbound connection per destination address is cached and re-dialed on
-// failure; inbound connections are accepted concurrently. Message types are
+// Wire format (spec: docs/WIRE.md): each connection starts with a hello
+// frame identifying the dialing node, then carries length-prefixed frames.
+// The first body byte of every frame tags its codec — 'W' for the engine's
+// deterministic wire envelope (Options.Codec, normally core.MessageCodec),
+// 'G' for gob. Engine messages ride the wire codec; application raw-message
+// types (and everything when no Codec is set) fall back to gob. One outbound
+// connection per destination address is cached and re-dialed on failure;
+// inbound connections are accepted concurrently. Gob message types are
 // registered by core.RegisterMessages (the Transport's owner must call it —
 // atum.RegisterWireMessages — before traffic flows; applications register
 // their own raw-message types on top).
@@ -29,7 +33,20 @@ import (
 
 	"atum/internal/actor"
 	"atum/internal/ids"
+	"atum/internal/wire"
 )
+
+// Codec serializes engine messages through the deterministic wire envelope.
+// core.MessageCodec implements it; the interface lives here so the transport
+// stays independent of the engine.
+type Codec interface {
+	// EncodeMessage returns the message's wire-envelope bytes, or false when
+	// the type is outside the codec's message set (the transport then falls
+	// back to gob for that frame).
+	EncodeMessage(msg actor.Message) ([]byte, bool)
+	// DecodeMessage reverses EncodeMessage.
+	DecodeMessage(b []byte) (actor.Message, error)
+}
 
 // Envelope is one transported message.
 type Envelope struct {
@@ -62,6 +79,10 @@ type Options struct {
 	// when a destination's queue is full, messages to it are dropped —
 	// the transport is allowed to be lossy, protocols retry by timeout.
 	QueueLen int
+	// Codec, when set, frames engine messages through the deterministic
+	// wire envelope instead of gob (pass atum.WireMessageCodec(), i.e.
+	// core.MessageCodec). Inbound wire frames are rejected when nil.
+	Codec Codec
 	// Logf, when set, receives transport debug logs.
 	Logf func(format string, args ...any)
 }
@@ -274,7 +295,7 @@ func (t *Transport) readLoop(conn net.Conn) {
 		delete(t.inbound, conn)
 		t.mu.Unlock()
 	}()
-	r := newFrameReader(conn, t.opts.MaxFrame)
+	r := newFrameReader(conn, t.opts.MaxFrame, t.opts.Codec)
 
 	// Hello first: learn how to dial this peer back.
 	var h hello
@@ -405,44 +426,89 @@ func (p *peer) write(w *frameWriter, conn net.Conn, v any) error {
 	if err := conn.SetWriteDeadline(time.Now().Add(p.t.opts.WriteTimeout)); err != nil {
 		return err
 	}
+	if env, ok := v.(Envelope); ok {
+		return w.writeEnvelope(env, p.t.opts.Codec)
+	}
 	return w.write(v)
 }
 
 // --- framing ---
 //
-// Each frame is a 4-byte big-endian length followed by that many bytes of a
-// standalone gob stream. Standalone streams (a fresh encoder per frame) cost
-// a few bytes of re-sent type definitions but make frames self-contained:
-// a corrupted or oversized frame can be rejected without desynchronizing the
-// connection's type dictionary.
+// Each frame is a 4-byte big-endian length followed by that many body bytes.
+// The first body byte tags the frame's codec:
+//
+//	'W': [from uint64][to uint64][len-prefixed wire-envelope message] — the
+//	     engine message set, encoded by Options.Codec (core.MessageCodec);
+//	'G': a standalone gob stream of wireBox{V} — hello frames, application
+//	     raw messages, and (with Codec nil) everything.
+//
+// Standalone gob streams (a fresh encoder per frame) cost a few bytes of
+// re-sent type definitions but make frames self-contained: a corrupted or
+// oversized frame can be rejected without desynchronizing the connection's
+// type dictionary. The wire codec does away with the dictionary entirely,
+// which is most of its byte savings on small messages.
+
+// Frame codec tags.
+const (
+	frameGob  = 'G'
+	frameWire = 'W'
+)
 
 type frameWriter struct {
 	w   io.Writer
 	buf bytes.Buffer
+	enc wire.Encoder // reused across wire frames, like buf for gob frames
 }
 
 func newFrameWriter(w io.Writer) *frameWriter { return &frameWriter{w: w} }
 
+// write emits v as a gob frame.
 func (fw *frameWriter) write(v any) error {
 	fw.buf.Reset()
+	fw.buf.WriteByte(frameGob)
 	if err := gob.NewEncoder(&fw.buf).Encode(wireBox{V: v}); err != nil {
 		return fmt.Errorf("encode: %w", err)
 	}
+	return fw.flush(fw.buf.Bytes())
+}
+
+// writeEnvelope emits env as a wire frame when the codec covers its message,
+// falling back to a gob frame otherwise.
+func (fw *frameWriter) writeEnvelope(env Envelope, codec Codec) error {
+	if codec == nil {
+		return fw.write(env)
+	}
+	mb, ok := codec.EncodeMessage(env.Msg)
+	if !ok {
+		return fw.write(env)
+	}
+	fw.enc.Reset()
+	fw.enc.Byte(frameWire)
+	fw.enc.Uint64(uint64(env.From))
+	fw.enc.Uint64(uint64(env.To))
+	fw.enc.VarBytes(mb)
+	return fw.flush(fw.enc.Bytes())
+}
+
+func (fw *frameWriter) flush(body []byte) error {
 	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(fw.buf.Len()))
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
 	if _, err := fw.w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err := fw.w.Write(fw.buf.Bytes())
+	_, err := fw.w.Write(body)
 	return err
 }
 
 type frameReader struct {
-	r   io.Reader
-	max int
+	r     io.Reader
+	max   int
+	codec Codec
 }
 
-func newFrameReader(r io.Reader, max int) *frameReader { return &frameReader{r: r, max: max} }
+func newFrameReader(r io.Reader, max int, codec Codec) *frameReader {
+	return &frameReader{r: r, max: max, codec: codec}
+}
 
 func (fr *frameReader) next(out any) error {
 	var hdr [4]byte
@@ -457,11 +523,37 @@ func (fr *frameReader) next(out any) error {
 	if _, err := io.ReadFull(fr.r, body); err != nil {
 		return err
 	}
-	var box wireBox
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&box); err != nil {
-		return fmt.Errorf("decode: %w", err)
+	switch body[0] {
+	case frameGob:
+		var box wireBox
+		if err := gob.NewDecoder(bytes.NewReader(body[1:])).Decode(&box); err != nil {
+			return fmt.Errorf("decode: %w", err)
+		}
+		return assign(out, box.V)
+	case frameWire:
+		env, ok := out.(*Envelope)
+		if !ok {
+			return fmt.Errorf("wire frame where %T expected", out)
+		}
+		if fr.codec == nil {
+			return errors.New("wire frame but no codec configured")
+		}
+		d := wire.NewDecoder(body[1:])
+		env.From = ids.NodeID(d.Uint64())
+		env.To = ids.NodeID(d.Uint64())
+		mb := d.VarBytes()
+		if err := d.Finish(); err != nil {
+			return fmt.Errorf("decode wire frame: %w", err)
+		}
+		msg, err := fr.codec.DecodeMessage(mb)
+		if err != nil {
+			return fmt.Errorf("decode wire frame: %w", err)
+		}
+		env.Msg = msg
+		return nil
+	default:
+		return fmt.Errorf("unknown frame codec tag %#x", body[0])
 	}
-	return assign(out, box.V)
 }
 
 // wireBox lets a frame carry any registered concrete type.

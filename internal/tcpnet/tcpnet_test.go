@@ -9,6 +9,7 @@ import (
 
 	"atum/internal/actor"
 	"atum/internal/ids"
+	"atum/internal/wire"
 )
 
 func init() {
@@ -80,7 +81,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	r := newFrameReader(&buf, 1<<20)
+	r := newFrameReader(&buf, 1<<20, nil)
 	var env Envelope
 	if err := r.next(&env); err != nil {
 		t.Fatal(err)
@@ -103,7 +104,7 @@ func TestFrameRejectsOversize(t *testing.T) {
 	if err := w.write(Envelope{Msg: testMsg{Body: string(make([]byte, 4096))}}); err != nil {
 		t.Fatal(err)
 	}
-	r := newFrameReader(&buf, 16)
+	r := newFrameReader(&buf, 16, nil)
 	var env Envelope
 	if err := r.next(&env); err == nil {
 		t.Fatal("oversized frame accepted")
@@ -116,7 +117,7 @@ func TestFrameTypeMismatch(t *testing.T) {
 	if err := w.write(hello{From: 1}); err != nil {
 		t.Fatal(err)
 	}
-	r := newFrameReader(&buf, 1<<20)
+	r := newFrameReader(&buf, 1<<20, nil)
 	var env Envelope
 	if err := r.next(&env); err == nil {
 		t.Fatal("hello decoded as envelope")
@@ -236,6 +237,114 @@ func TestCloseIdempotent(t *testing.T) {
 	}
 	// Sends after close are silently dropped.
 	tr.Send(1, 2, testMsg{})
+}
+
+// stubCodec wire-frames wireMsg values only; everything else reports false
+// and rides the gob fallback, like application raw messages do under
+// core.MessageCodec.
+type stubCodec struct{}
+
+type wireMsg struct {
+	Seq  int
+	Body string
+}
+
+func (stubCodec) EncodeMessage(msg actor.Message) ([]byte, bool) {
+	m, ok := msg.(wireMsg)
+	if !ok {
+		return nil, false
+	}
+	var e wire.Encoder
+	e.Int64(int64(m.Seq))
+	e.String(m.Body)
+	return e.Bytes(), true
+}
+
+func (stubCodec) DecodeMessage(b []byte) (actor.Message, error) {
+	d := wire.NewDecoder(b)
+	m := wireMsg{Seq: int(d.Int64()), Body: d.String()}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func TestWireFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := newFrameWriter(&buf)
+	want := Envelope{From: 3, To: 4, Msg: wireMsg{Seq: 11, Body: "wire"}}
+	if err := w.writeEnvelope(want, stubCodec{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Bytes()[4] != frameWire {
+		t.Fatalf("codec-covered message not wire-framed (tag %#x)", buf.Bytes()[4])
+	}
+	r := newFrameReader(&buf, 1<<20, stubCodec{})
+	var env Envelope
+	if err := r.next(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.From != 3 || env.To != 4 || env.Msg != (wireMsg{Seq: 11, Body: "wire"}) {
+		t.Fatalf("got %+v", env)
+	}
+}
+
+func TestWireFrameGobFallbackForUnknownTypes(t *testing.T) {
+	var buf bytes.Buffer
+	w := newFrameWriter(&buf)
+	want := Envelope{From: 3, To: 4, Msg: testMsg{Seq: 1, Body: "raw"}}
+	if err := w.writeEnvelope(want, stubCodec{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Bytes()[4] != frameGob {
+		t.Fatalf("codec-unknown message not gob-framed (tag %#x)", buf.Bytes()[4])
+	}
+	r := newFrameReader(&buf, 1<<20, stubCodec{})
+	var env Envelope
+	if err := r.next(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Msg != (testMsg{Seq: 1, Body: "raw"}) {
+		t.Fatalf("got %+v", env)
+	}
+}
+
+func TestWireFrameWithoutCodecRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := newFrameWriter(&buf)
+	if err := w.writeEnvelope(Envelope{Msg: wireMsg{Seq: 1}}, stubCodec{}); err != nil {
+		t.Fatal(err)
+	}
+	r := newFrameReader(&buf, 1<<20, nil)
+	var env Envelope
+	if err := r.next(&env); err == nil {
+		t.Fatal("wire frame accepted without a codec")
+	}
+}
+
+func TestSendBetweenTransportsWithCodec(t *testing.T) {
+	sa, sb := newSink(), newSink()
+	ta, err := New(1, sa, Options{ListenAddr: "127.0.0.1:0", Codec: stubCodec{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ta.Close() })
+	tb, err := New(2, sb, Options{ListenAddr: "127.0.0.1:0", Codec: stubCodec{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tb.Close() })
+
+	ta.LearnAddr(2, tb.Addr())
+	ta.Send(1, 2, wireMsg{Seq: 1, Body: "wire over tcp"})
+	ta.Send(1, 2, testMsg{Seq: 2, Body: "gob over tcp"}) // fallback on the same conn
+	got := sb.wait(t, 2, 10*time.Second)
+	if got[0].Msg != (wireMsg{Seq: 1, Body: "wire over tcp"}) {
+		t.Fatalf("got %+v", got[0])
+	}
+	if got[1].Msg != (testMsg{Seq: 2, Body: "gob over tcp"}) {
+		t.Fatalf("got %+v", got[1])
+	}
 }
 
 func waitStat(t *testing.T, cond func() bool) {

@@ -1,13 +1,18 @@
 // Package wire implements a small deterministic binary codec.
 //
 // Atum signs several kinds of payloads (Dolev-Strong slot values, random-walk
-// certificates, join requests, stream digests). Signatures require canonical
-// bytes, so the types involved marshal themselves through this codec rather
-// than through reflection-based encoders whose output may vary.
+// certificates, join requests, stream digests) and majority-matches group
+// messages by payload digest. Both require canonical bytes, so the types
+// involved marshal themselves through this codec rather than through
+// reflection-based encoders whose output may vary. Since the wire-codec
+// migration it is also the framing of the engine's payload envelope and the
+// TCP transport (internal/core/wirecodec.go, internal/tcpnet).
 //
 // The format is: fixed-width big-endian integers, and length-prefixed byte
 // strings (uint32 length). It is intentionally not self-describing; both ends
-// know the schema.
+// know the schema. The full byte-level specification of every frame Atum
+// puts on a wire — these primitives, the tagged payload envelope, the batch
+// frame, and the TCP framing — lives in docs/WIRE.md.
 package wire
 
 import (
@@ -51,6 +56,10 @@ type Encoder struct {
 
 // Bytes returns the encoded bytes accumulated so far.
 func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Reset truncates the encoder for reuse, keeping the allocated capacity.
+// Bytes returned before Reset are invalidated by subsequent writes.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 
 // Len returns the number of bytes accumulated so far.
 func (e *Encoder) Len() int { return len(e.buf) }

@@ -11,6 +11,7 @@ import (
 	"atum/internal/ids"
 	"atum/internal/rtnet"
 	"atum/internal/smr"
+	"atum/internal/tcpnet"
 )
 
 // RealtimeOptions configures a real-time runtime (NewRealtimeRuntime).
@@ -165,7 +166,14 @@ func (r *RealtimeRuntime) invoke(n *Node, fn func() error) error {
 }
 
 // RegisterWireMessages registers every engine message type with
-// encoding/gob. Byte-level transports (tcpnet) call it before decoding;
-// applications registering their own raw-message types should do so after
-// calling this.
+// encoding/gob — the byte-level transports' fallback envelope for
+// application raw-message types (and for engine traffic when no wire codec
+// is configured). Call it before traffic flows; applications registering
+// their own raw-message types should do so after calling this.
 func RegisterWireMessages() { core.RegisterMessages() }
+
+// WireMessageCodec returns the engine's deterministic wire-envelope codec
+// for byte-level transports: pass it as tcpnet.Options.Codec so engine
+// messages skip the per-frame gob type dictionary (docs/WIRE.md). Raw
+// application messages still need RegisterWireMessages.
+func WireMessageCodec() tcpnet.Codec { return core.MessageCodec{} }

@@ -32,7 +32,10 @@ func startTCPNode(t *testing.T, id uint64, seed int64) *tcpNode {
 	// with a late-bound transport shim.
 	var shim transportShim
 	rt := atum.NewRealtimeRuntime(atum.RealtimeOptions{Seed: seed, Transport: &shim})
-	tr, err := tcpnet.New(ids.NodeID(id), rt.RT, tcpnet.Options{ListenAddr: "127.0.0.1:0"})
+	tr, err := tcpnet.New(ids.NodeID(id), rt.RT, tcpnet.Options{
+		ListenAddr: "127.0.0.1:0",
+		Codec:      atum.WireMessageCodec(),
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
