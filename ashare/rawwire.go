@@ -1,0 +1,109 @@
+package ashare
+
+// AShare's wire extension tags (docs/WIRE.md: ashare owns 0x90–0x9F). Every
+// SendRaw type — chunk transfer and the ring-index RPCs — is registered with
+// the engine's raw-message codec registry, so this traffic is wire-codable:
+// the egress scheduler coalesces concurrent messages per destination node
+// into batch carriers, and TCP transports frame them through the wire codec
+// instead of the gob fallback. Tags are append-only wire contracts.
+
+import (
+	"atum"
+	"atum/internal/crypto"
+)
+
+// Extension tag assignments. Append-only; never reorder or reuse.
+const (
+	rawTagChunkRequest  = 0x90
+	rawTagChunkResponse = 0x91
+	rawTagRingStore     = 0x92
+	rawTagRingErase     = 0x93
+	rawTagRingGet       = 0x94
+	rawTagRingFound     = 0x95
+)
+
+func marshalFileKey(e *atum.WireEncoder, k FileKey) {
+	e.Uint64(uint64(k.Owner))
+	e.String(k.Name)
+}
+
+func unmarshalFileKey(d *atum.WireDecoder) FileKey {
+	return FileKey{Owner: atum.NodeID(d.Uint64()), Name: d.String()}
+}
+
+func marshalFileMeta(e *atum.WireEncoder, m FileMeta) {
+	marshalFileKey(e, m.Key)
+	e.Int64(int64(m.Size))
+	e.Int64(int64(m.ChunkSize))
+	e.ListLen(len(m.ChunkDigests))
+	for _, dg := range m.ChunkDigests {
+		e.Bytes32(dg)
+	}
+}
+
+func unmarshalFileMeta(d *atum.WireDecoder) FileMeta {
+	var m FileMeta
+	m.Key = unmarshalFileKey(d)
+	m.Size = int(d.Int64())
+	m.ChunkSize = int(d.Int64())
+	n := d.ListLen()
+	for i := 0; i < n && d.Err() == nil; i++ {
+		m.ChunkDigests = append(m.ChunkDigests, crypto.Digest(d.Bytes32()))
+	}
+	return m
+}
+
+func init() {
+	atum.RegisterRawMessage(rawTagChunkRequest, chunkRequest{},
+		func(v any, e *atum.WireEncoder) {
+			m := v.(chunkRequest)
+			marshalFileKey(e, m.Key)
+			e.Int64(int64(m.Idx))
+		},
+		func(d *atum.WireDecoder) any {
+			return chunkRequest{Key: unmarshalFileKey(d), Idx: int(d.Int64())}
+		})
+	atum.RegisterRawMessage(rawTagChunkResponse, chunkResponse{},
+		func(v any, e *atum.WireEncoder) {
+			m := v.(chunkResponse)
+			marshalFileKey(e, m.Key)
+			e.Int64(int64(m.Idx))
+			e.VarBytes(m.Data)
+		},
+		func(d *atum.WireDecoder) any {
+			return chunkResponse{Key: unmarshalFileKey(d), Idx: int(d.Int64()), Data: d.VarBytes()}
+		})
+	atum.RegisterRawMessage(rawTagRingStore, ringStore{},
+		func(v any, e *atum.WireEncoder) {
+			marshalFileMeta(e, v.(ringStore).Meta)
+		},
+		func(d *atum.WireDecoder) any {
+			return ringStore{Meta: unmarshalFileMeta(d)}
+		})
+	atum.RegisterRawMessage(rawTagRingErase, ringErase{},
+		func(v any, e *atum.WireEncoder) {
+			marshalFileKey(e, v.(ringErase).Key)
+		},
+		func(d *atum.WireDecoder) any {
+			return ringErase{Key: unmarshalFileKey(d)}
+		})
+	atum.RegisterRawMessage(rawTagRingGet, ringGet{},
+		func(v any, e *atum.WireEncoder) {
+			m := v.(ringGet)
+			e.Uint64(m.Seq)
+			marshalFileKey(e, m.Key)
+		},
+		func(d *atum.WireDecoder) any {
+			return ringGet{Seq: d.Uint64(), Key: unmarshalFileKey(d)}
+		})
+	atum.RegisterRawMessage(rawTagRingFound, ringFound{},
+		func(v any, e *atum.WireEncoder) {
+			m := v.(ringFound)
+			e.Uint64(m.Seq)
+			e.Bool(m.Has)
+			marshalFileMeta(e, m.Meta)
+		},
+		func(d *atum.WireDecoder) any {
+			return ringFound{Seq: d.Uint64(), Has: d.Bool(), Meta: unmarshalFileMeta(d)}
+		})
+}

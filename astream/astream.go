@@ -78,6 +78,25 @@ type dataMsg struct {
 // WireSize implements the bandwidth model's sizer.
 func (d dataMsg) WireSize() int { return 32 + len(d.Data) }
 
+// rawTagData is AStream's wire extension tag for dataMsg (docs/WIRE.md:
+// astream owns 0x80–0x8F). Registration makes tier-2 pushes wire-codable:
+// the engine's egress scheduler coalesces concurrent chunks per destination
+// node into batch carriers, and TCP transports frame them through the wire
+// codec instead of the gob fallback.
+const rawTagData = 0x80
+
+func init() {
+	atum.RegisterRawMessage(rawTagData, dataMsg{},
+		func(v any, e *atum.WireEncoder) {
+			m := v.(dataMsg)
+			e.Uint64(m.Seq)
+			e.VarBytes(m.Data)
+		},
+		func(d *atum.WireDecoder) any {
+			return dataMsg{Seq: d.Uint64(), Data: d.VarBytes()}
+		})
+}
+
 // Service is one node's stream participation.
 // maxCandidates bounds how many distinct unverified copies of one chunk a
 // node keeps (and forwards) while the tier-1 digest is still in flight. A

@@ -23,30 +23,39 @@
 // API ship with the repository: asub (publish/subscribe), ashare (file
 // sharing), and astream (data streaming).
 //
-// # Gossip batching
+// # Egress scheduling
 //
-// The dissemination phase (§3.3.4) batches by default: all gossip payloads a
-// member forwards to the same neighbor vgroup within one flush window leave
-// as a single batch group message, cutting per-link message counts and
-// framing bytes by roughly the number of concurrent broadcasts. Receivers
-// unpack batches and process every inner broadcast individually, so Deliver
-// and Forward semantics are identical with batching on or off. Three Config
-// knobs control it:
+// Every outbound send — gossip payloads (§3.3.4's dissemination phase),
+// random-walk hops, neighbor and composition updates during churn, and
+// registered application raw messages — feeds a unified per-destination
+// egress scheduler (internal/egress): everything bound for the same
+// destination within its flush window leaves as a single batch carrier,
+// cutting per-link message counts and framing bytes by roughly the number
+// of concurrent sends. Receivers unpack carriers and process every inner
+// message individually, so Deliver, Forward, and OnRawMessage semantics are
+// identical with batching on or off. The flush window is adaptive, derived
+// per destination from the observed arrival rate: zero when idle (a lone
+// broadcast on a quiet system pays no batching latency), widening under
+// bursts up to a cap. Three Config knobs control the scheduler:
 //
-//   - GossipMaxBatch: payloads coalesced per destination (default 64;
-//     1 disables batching and restores one message per broadcast per link)
+//   - GossipMaxBatch: items coalesced per destination (default 64;
+//     1 disables batching and restores one message per send per link)
 //   - GossipMaxBatchBytes: byte budget that forces an early flush
 //     (default 256 KiB)
-//   - GossipFlushInterval: the ModeAsync flush window (default 5 ms;
-//     ModeSync flushes at every lockstep round tick instead)
+//   - EgressMaxFlushWindow: the adaptive window's cap (default 5 ms;
+//     ModeSync group sends flush at every lockstep round tick instead)
 //
 // # Wire codec
 //
 // Payloads and engine messages are framed by a deterministic, tagged,
 // versioned wire codec (docs/WIRE.md) rather than encoding/gob: canonical
 // bytes for signatures and cross-member digest matching, no per-message
-// type dictionary. Config.GobEnvelope selects the legacy gob envelope for
-// one release so mixed clusters interop during migration.
+// type dictionary. Applications register their SendRaw message types in
+// the codec's extension-tag range (RegisterRawMessage) to make them
+// wire-codable — and thereby batchable — too; unregistered types ride the
+// TCP transport's gob fallback as before. The legacy gob payload envelope
+// was removed one release after the codec shipped (docs/WIRE.md migration
+// notes).
 //
 // Nodes are actors: they run on a runtime that delivers messages and timers.
 // Two runtimes are provided — the deterministic discrete-event simulator
@@ -64,6 +73,7 @@ import (
 	"atum/internal/ids"
 	"atum/internal/simnet"
 	"atum/internal/smr"
+	"atum/internal/wire"
 )
 
 // Re-exported configuration and callback types (stable public aliases of
@@ -126,6 +136,33 @@ const (
 
 // DefaultParams returns sensible Table 1 parameters for a medium system.
 func DefaultParams() Params { return core.DefaultParams() }
+
+// Wire codec primitives, re-exported for application raw-message codecs
+// (RegisterRawMessage marshal/unmarshal callbacks).
+type (
+	// WireEncoder writes the engine's primitive wire encodings.
+	WireEncoder = wire.Encoder
+	// WireDecoder reads them back (error-latching; the envelope layer
+	// checks the final state).
+	WireDecoder = wire.Decoder
+)
+
+// RawMessageTagMin is the first wire-envelope kind tag of the application
+// extension range (docs/WIRE.md): tags RawMessageTagMin..0xFF identify
+// application raw-message types registered with RegisterRawMessage.
+const RawMessageTagMin = core.RawTagMin
+
+// RegisterRawMessage registers an application raw-message type under a wire
+// extension tag. Registered types become wire-codable: SendRaw coalesces
+// them per destination on the egress scheduler (batch carriers instead of
+// one message per send), and byte-level transports frame them through the
+// deterministic wire codec instead of the gob fallback. Tags are process-
+// wide, append-only wire contracts — see docs/WIRE.md for the assignments
+// in use. Registration panics on tag or type conflicts; re-registering the
+// same pair is a no-op.
+func RegisterRawMessage(tag byte, prototype any, marshal func(v any, e *WireEncoder), unmarshal func(d *WireDecoder) any) {
+	core.RegisterRawMessage(tag, prototype, marshal, unmarshal)
+}
 
 // Node is one Atum participant.
 type Node struct {

@@ -149,7 +149,7 @@ func (n *Node) applyInput(dig crypto.Digest, o inputVoteOp) {
 	case exchangeCancelPayload:
 		n.applyExchangeCancel(p)
 	case mergeRequestPayload:
-		n.applyMergeRequest(o.Src, p)
+		n.applyMergeRequest(o.Src, o.MsgID, p)
 	case mergeAcceptPayload:
 		n.applyMergeAccept(p)
 	case mergeRejectPayload:
@@ -193,10 +193,10 @@ type addedMember struct {
 // send their share of the notifications and snapshots.
 func (n *Node) reconfigure(newMembers []ids.Identity, cause reconfigCause, added []addedMember) {
 	st := n.st
-	// Pending gossip batches were enqueued — and their inner MsgIDs derived —
+	// Pending egress batches were enqueued — and their inner MsgIDs derived —
 	// under the closing epoch; send them stamped with it before the bump, or
 	// receivers would tally our votes under a composition we never used.
-	n.flushGossip()
+	n.egress.FlushAll()
 	old := st.comp.Clone()
 	members := ids.CloneIdentities(newMembers)
 	ids.SortIdentities(members)
@@ -237,7 +237,7 @@ func (n *Node) reconfigure(newMembers []ids.Identity, cause reconfigCause, added
 		}
 		notified[c.GroupID] = true
 		msgID := nbrUpdateMsgID(st.comp, c.GroupID)
-		group.Send(n.sendGroupQuantized, n.env.Rand(), old, n.cfg.Identity.ID, c, kindNeighborUpdate, msgID, payload)
+		n.sendViaEgress(old, c, kindNeighborUpdate, msgID, payload)
 	}
 	for c := 0; c < st.nbrs.NumCycles(); c++ {
 		notify(st.nbrs.Preds[c])

@@ -216,33 +216,32 @@ type Config struct {
 	// ReplyMode selects the walk reply mechanism; defaults per Mode
 	// (sync→backward, async→certificates).
 	ReplyMode WalkReplyMode
-	// GossipMaxBatch caps how many gossip payloads bound for the same
-	// neighbor vgroup are coalesced into one batch group message (§3.3.4's
-	// dissemination phase is the hot path under concurrent broadcasts).
-	// 0 selects the default (64); 1 disables batching entirely and
-	// reproduces the one-message-per-broadcast-per-link behaviour exactly.
+	// GossipMaxBatch caps how many logical messages bound for the same
+	// destination are coalesced into one egress batch carrier (§3.3.4's
+	// dissemination phase is the hot path under concurrent broadcasts; churn
+	// updates, walk traffic and raw-message floods share the same
+	// per-destination queues — see internal/egress). 0 selects the default
+	// (64); 1 disables batching entirely and reproduces the
+	// one-message-per-send behaviour exactly.
 	GossipMaxBatch int
-	// GossipMaxBatchBytes caps the payload bytes of one gossip batch; a
+	// GossipMaxBatchBytes caps the payload bytes of one egress batch; a
 	// destination whose pending payloads exceed it is flushed immediately.
 	// 0 selects the default (256 KiB).
 	GossipMaxBatchBytes int
-	// GossipFlushInterval is the batching window in ModeAsync: the first
-	// payload enqueued for any destination arms a flush timer with this
-	// delay, so concurrent broadcasts within the window share batches. In
-	// ModeSync the window is the lockstep round itself (batches flush at
-	// every round tick, which is when sends depart anyway) and this field
-	// is ignored. 0 selects the default (5 ms, a few LAN round trips).
-	GossipFlushInterval time.Duration
-	// GobEnvelope selects the legacy encoding/gob payload envelope instead
-	// of the deterministic wire codec (docs/WIRE.md). Interop fallback for
-	// mixed clusters while a migration is in flight: decoding always accepts
-	// both envelopes, so this knob only changes what this node emits. Group
-	// messages are digest-matched across the sending vgroup, so during a
-	// migration the nodes still on gob should be a minority of every vgroup
-	// (or a majority — either side of the threshold works; an even split of
-	// a small vgroup can starve acceptance). Will be removed one release
-	// after the wire codec ships.
-	GobEnvelope bool
+	// EgressMaxFlushWindow caps the egress scheduler's adaptive flush
+	// window. The window is derived per destination from the observed
+	// arrival rate: zero when the destination is idle (a lone send pays no
+	// batching latency), widening toward this cap under bursts so batches
+	// fill. In ModeSync, group-addressed sends are round-quantized and flush
+	// at the lockstep round tick instead; the window still paces raw
+	// (node-addressed) traffic. 0 selects the default (5 ms, a few LAN round
+	// trips).
+	EgressMaxFlushWindow time.Duration
+	// EgressGossipOnly restricts the egress scheduler to the gossip kind,
+	// sending walk, churn and raw traffic directly — the pre-egress
+	// behaviour, kept as the baseline for the `atum-bench -exp egress`
+	// comparison and ablation tests. Off in production.
+	EgressGossipOnly bool
 	// Behavior injects Byzantine behaviour for experiments.
 	Behavior Behavior
 	// DisableShuffle turns off post-reconfiguration shuffling (ablation).
@@ -291,8 +290,8 @@ func (c Config) withDefaults() Config {
 	if c.GossipMaxBatchBytes <= 0 {
 		c.GossipMaxBatchBytes = 256 << 10
 	}
-	if c.GossipFlushInterval <= 0 {
-		c.GossipFlushInterval = 5 * time.Millisecond
+	if c.EgressMaxFlushWindow <= 0 {
+		c.EgressMaxFlushWindow = 5 * time.Millisecond
 	}
 	if c.ReplyMode == 0 {
 		if c.Mode == smr.ModeAsync {

@@ -1,0 +1,400 @@
+package core
+
+// Coverage for the engine side of the unified egress scheduler: multi-kind
+// batch carriers (gossip + walk + raw in one frame), flush-before-state-
+// replacement for the walk and churn kinds (mirroring the PR-1 gossip
+// guarantees), receiver-side dispatch including the raw allowlist, and the
+// adaptive window's zero-latency idle path in the asynchronous engine.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"atum/internal/actor"
+	"atum/internal/crypto"
+	"atum/internal/group"
+	"atum/internal/ids"
+	"atum/internal/overlay"
+	"atum/internal/smr"
+	"atum/internal/wire"
+)
+
+// egressTestMsg is a raw-message type registered in the wire extension
+// range for these tests (tag 0xF0 is reserved for in-repo test codecs).
+type egressTestMsg struct {
+	Seq  uint64
+	Body []byte
+}
+
+func registerEgressTestMsg() {
+	// RegisterRawMessage is idempotent for the same (tag, type) pair.
+	RegisterRawMessage(0xF0, egressTestMsg{},
+		func(v any, e *wire.Encoder) {
+			m := v.(egressTestMsg)
+			e.Uint64(m.Seq)
+			e.VarBytes(m.Body)
+		},
+		func(d *wire.Decoder) any {
+			return egressTestMsg{Seq: d.Uint64(), Body: d.VarBytes()}
+		})
+}
+
+// TestRawExtensionRoundTrip pins the extension-tag frame format: registered
+// types round-trip through the envelope codec, unregistered tags fail.
+func TestRawExtensionRoundTrip(t *testing.T) {
+	registerEgressTestMsg()
+	msg := egressTestMsg{Seq: 42, Body: []byte("tier-2")}
+	b, ok := encodeRawWire(msg)
+	if !ok {
+		t.Fatal("registered raw type not encodable")
+	}
+	if b[0] != wireEnvMagic || b[1] != 0xF0 || b[2] != wireEnvV1 {
+		t.Fatalf("extension frame header = % x", b[:3])
+	}
+	v, err := decodePayload(b)
+	if err != nil {
+		t.Fatalf("decode extension frame: %v", err)
+	}
+	if !reflect.DeepEqual(v, msg) {
+		t.Fatalf("round trip mismatch: %+v != %+v", v, msg)
+	}
+	// MessageCodec (the TCP transport codec) must cover it too, so this
+	// traffic leaves the gob fallback.
+	if _, ok := (MessageCodec{}).EncodeMessage(msg); !ok {
+		t.Fatal("registered raw type not covered by MessageCodec")
+	}
+	// Unregistered extension tags are rejected, not crashed on.
+	bad := append([]byte(nil), b...)
+	bad[1] = 0xEF
+	if _, err := decodePayload(bad); err == nil {
+		t.Fatal("unregistered extension tag accepted")
+	}
+	// Unregistered types still fall through to the transport gob fallback.
+	type unregistered struct{ X int }
+	if _, ok := encodeRawWire(unregistered{}); ok {
+		t.Fatal("unregistered type claimed wire-codable")
+	}
+}
+
+// TestBatchCarriesThreeKinds pins the acceptance bar for the unified
+// scheduler: gossip, walk, and raw items bound for the same destination
+// leave in ONE batch carrier, and the receiver dispatches each correctly —
+// votable kinds into its inbox, the raw item to OnRawMessage.
+func TestBatchCarriesThreeKinds(t *testing.T) {
+	registerEgressTestMsg()
+	self := ids.NodeID(1)
+	comp := testComp(7, 3, 1, 2, 3)
+	nbr := testComp(9, 1, 4, 5, 6)
+	n, _ := memberNode(t, self, comp, nbr)
+
+	// One gossip payload, one walk hop, one raw message, same destination.
+	n.sendViaEgress(comp, nbr, kindGossip,
+		gossipMsgID(crypto.Hash([]byte("g")), comp, nbr.GroupID),
+		n.encPayload(gossipPayload{BcastID: crypto.Hash([]byte("g")), Origin: self, Data: []byte("x"), Hops: 1}))
+	n.sendViaEgress(comp, nbr, kindWalk,
+		walkMsgID(crypto.Hash([]byte("w")), 0, nbr.GroupID),
+		n.encPayload(walkPayload{WalkID: crypto.Hash([]byte("w")), Purpose: PurposeJoin,
+			StepsLeft: 1, Rands: []uint64{1, 2}, Origin: comp.Clone()}))
+	rawFrame, ok := encodeRawWire(egressTestMsg{Seq: 7, Body: []byte("raw")})
+	if !ok {
+		t.Fatal("raw frame")
+	}
+	n.egress.EnqueueGroup(comp, nbr,
+		group.BatchItem{Kind: kindRaw, MsgID: crypto.Hash(rawFrame), Payload: rawFrame}, true)
+
+	if d, i := n.egress.Pending(); d != 1 || i != 3 {
+		t.Fatalf("pending = %d/%d, want one destination holding all 3 kinds", d, i)
+	}
+	n.egress.FlushAll()
+
+	var carrier group.GroupMsg
+	found := false
+	for _, q := range n.outQ {
+		if m, ok := q.msg.(group.GroupMsg); ok && m.Kind == kindBatch && m.Payload != nil {
+			carrier, found = m, true
+		}
+	}
+	if !found {
+		t.Fatal("no full-payload batch carrier in outQ")
+	}
+	inner, err := group.UnpackBatch(carrier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[group.Kind]int{}
+	for _, im := range inner {
+		kinds[im.Kind]++
+	}
+	if kinds[kindGossip] != 1 || kinds[kindWalk] != 1 || kinds[kindRaw] != 1 {
+		t.Fatalf("carrier kinds = %v, want one each of gossip/walk/raw", kinds)
+	}
+
+	// Receiver side: a member of the destination vgroup unpacks the carrier.
+	// Raw items are dispatched to OnRawMessage without any voting; votable
+	// kinds enter the inbox (observable: a majority of senders accepts them).
+	var gotRaw []any
+	recv, _ := memberNode(t, 4, nbr, comp)
+	recv.cfg.OnRawMessage = func(_ ids.NodeID, msg any) { gotRaw = append(gotRaw, msg) }
+	delivered := 0
+	recv.cfg.Callbacks.Deliver = func(Delivery) { delivered++ }
+	for _, sender := range comp.Members {
+		recv.routeGroupMsg(sender.ID, carrier)
+	}
+	if len(gotRaw) != len(comp.Members) {
+		t.Fatalf("raw item delivered %d times, want once per carrier copy (%d)", len(gotRaw), len(comp.Members))
+	}
+	if m, ok := gotRaw[0].(egressTestMsg); !ok || m.Seq != 7 {
+		t.Fatalf("raw item decoded as %#v", gotRaw[0])
+	}
+	if delivered != 1 {
+		t.Fatalf("inner gossip delivered %d times, want exactly 1 (majority-matched)", delivered)
+	}
+}
+
+// TestEgressFlushesWalkAndChurnKindsBeforeReconfigure is the satellite
+// regression test: pending walk and neighbor-update traffic must flush
+// before the epoch bump, stamped with the enqueue-time composition — the
+// same guarantee PR 1 established for gossip, now holding for every kind
+// the scheduler carries.
+func TestEgressFlushesWalkAndChurnKindsBeforeReconfigure(t *testing.T) {
+	self := ids.NodeID(1)
+	comp := testComp(7, 3, 1, 2, 3)
+	nbr := testComp(9, 1, 4, 5, 6)
+	n, _ := memberNode(t, self, comp, nbr)
+
+	n.sendViaEgress(comp, nbr, kindWalk,
+		walkMsgID(crypto.Hash([]byte("w2")), 0, nbr.GroupID),
+		n.encPayload(walkPayload{WalkID: crypto.Hash([]byte("w2")), Purpose: PurposeJoin,
+			StepsLeft: 2, Rands: []uint64{3, 4}, Origin: comp.Clone()}))
+	n.sendViaEgress(comp, nbr, kindSetNeighbor,
+		setNbrMsgID(comp, nbr.GroupID, 0, overlay.Pred),
+		n.encPayload(setNeighborPayload{Cycle: 0, Dir: overlay.Pred, Comp: comp.Clone()}))
+	if d, i := n.egress.Pending(); d != 1 || i != 2 {
+		t.Fatalf("pending = %d/%d, want 1/2", d, i)
+	}
+
+	joiner := ids.Identity{ID: 42, Addr: "t:42"}
+	n.reconfigure(append(ids.CloneIdentities(comp.Members), joiner), causeJoin,
+		[]addedMember{{identity: joiner}})
+	if n.st.comp.Epoch != 4 {
+		t.Fatalf("epoch = %d, want 4", n.st.comp.Epoch)
+	}
+
+	kinds := map[group.Kind]bool{}
+	for _, q := range n.outQ {
+		m, ok := q.msg.(group.GroupMsg)
+		if !ok || m.Kind != kindBatch {
+			continue
+		}
+		if m.SrcEpoch != 3 {
+			t.Errorf("carrier stamped epoch %d, want the enqueue-time epoch 3", m.SrcEpoch)
+		}
+		inner, err := group.UnpackBatch(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, im := range inner {
+			kinds[im.Kind] = true
+		}
+	}
+	if !kinds[kindWalk] || !kinds[kindSetNeighbor] {
+		t.Fatalf("flushed kinds = %v, want walk and setNeighbor out before the bump", kinds)
+	}
+}
+
+// TestEgressFlushesBeforeMergeDissolve covers the remaining state-teardown
+// path: a dissolving vgroup's pending egress traffic — including the gap-
+// closing setNeighbor messages it emits while dissolving — leaves stamped
+// with the dissolving composition before n.st is torn down.
+func TestEgressFlushesBeforeMergeDissolve(t *testing.T) {
+	self := ids.NodeID(1)
+	comp := testComp(7, 3, 1, 2)
+	nbr := testComp(9, 1, 4, 5, 6)
+	n, _ := memberNode(t, self, comp, nbr)
+	absorber := testComp(9, 1, 4, 5, 6)
+
+	// Queue a gossip payload, then dissolve mid-window.
+	n.forwardGossip(Delivery{BcastID: crypto.Hash([]byte("pre-merge")), Origin: self, Data: []byte("x")})
+	n.st.walkOrigins = append(n.st.walkOrigins, walkOrigin{
+		WalkID: crypto.Hash([]byte("m")), Purpose: PurposeMerge, OriginComp: comp.Clone(),
+	})
+	n.applyMergeAccept(mergeAcceptPayload{Absorber: absorber.Clone()})
+
+	if n.st != nil {
+		t.Fatal("dissolve did not tear down the group state")
+	}
+	if d, i := n.egress.Pending(); d != 0 || i != 0 {
+		t.Fatalf("pending after dissolve = %d/%d, want drained", d, i)
+	}
+	sawGossip, sawSetNbr := false, false
+	for _, q := range n.outQ {
+		m, ok := q.msg.(group.GroupMsg)
+		if !ok {
+			continue
+		}
+		if m.SrcGroup != comp.GroupID || m.SrcEpoch != comp.Epoch {
+			t.Errorf("dissolve-time message stamped %v/%d, want %v/%d",
+				m.SrcGroup, m.SrcEpoch, comp.GroupID, comp.Epoch)
+		}
+		switch m.Kind {
+		case kindGossip:
+			sawGossip = true
+		case kindSetNeighbor:
+			sawSetNbr = true
+		case kindBatch:
+			inner, err := group.UnpackBatch(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, im := range inner {
+				switch im.Kind {
+				case kindGossip:
+					sawGossip = true
+				case kindSetNeighbor:
+					sawSetNbr = true
+				}
+			}
+		}
+	}
+	if !sawGossip || !sawSetNbr {
+		t.Fatalf("dissolve drained gossip=%v setNeighbor=%v, want both", sawGossip, sawSetNbr)
+	}
+}
+
+// TestAsyncIdleBroadcastBypassesWindow pins the adaptive window's idle path
+// in the asynchronous engine: the first gossip forward to a quiet neighbor
+// transmits at enqueue time — no queueing, no timer, no added latency
+// relative to the unbatched engine.
+func TestAsyncIdleBroadcastBypassesWindow(t *testing.T) {
+	self := ids.NodeID(1)
+	comp := testComp(7, 3, 1, 2, 3)
+	nbr := testComp(9, 1, 4, 5, 6)
+	n, env := memberNode(t, self, comp, nbr)
+	n.cfg.Mode = smr.ModeAsync
+	n.egress = n.newEgress()
+
+	n.forwardGossip(Delivery{BcastID: crypto.Hash([]byte("idle-1")), Origin: self, Data: []byte("x")})
+	if d, _ := n.egress.Pending(); d != 0 {
+		t.Fatal("idle async broadcast was queued behind a window")
+	}
+	sent := 0
+	for _, s := range env.sent {
+		if m, ok := s.msg.(group.GroupMsg); ok && m.Kind == kindGossip {
+			sent++
+		}
+	}
+	if sent != nbr.N() {
+		t.Fatalf("idle async broadcast sent %d copies immediately, want %d", sent, nbr.N())
+	}
+
+	// A same-instant burst, by contrast, coalesces behind the widened window.
+	for i := 0; i < 4; i++ {
+		n.forwardGossip(Delivery{
+			BcastID: crypto.Hash([]byte(fmt.Sprintf("burst-%d", i))),
+			Origin:  self, Data: []byte("y"),
+		})
+	}
+	if _, items := n.egress.Pending(); items < 3 {
+		t.Fatalf("burst queued %d items, want >= 3 coalescing behind the window", items)
+	}
+}
+
+// TestSendRawRegisteredTypeBatches: registered raw types ride the scheduler
+// (bursts coalesce), unregistered types keep the direct path.
+func TestSendRawRegisteredTypeBatches(t *testing.T) {
+	registerEgressTestMsg()
+	self := ids.NodeID(1)
+	comp := testComp(7, 3, 1, 2, 3)
+	nbr := testComp(9, 1, 4, 5, 6)
+	n, env := memberNode(t, self, comp, nbr)
+
+	// First send to an idle node: immediate, as a kindRaw group message.
+	n.SendRaw(4, egressTestMsg{Seq: 1, Body: []byte("a")})
+	if len(env.sent) != 1 {
+		t.Fatalf("idle SendRaw sent %d messages, want 1", len(env.sent))
+	}
+	if m, ok := env.sent[0].msg.(group.GroupMsg); !ok || m.Kind != kindRaw {
+		t.Fatalf("idle SendRaw framed as %T, want kindRaw group message", env.sent[0].msg)
+	}
+	// A burst coalesces: only the leading send leaves before the window.
+	for i := 0; i < 5; i++ {
+		n.SendRaw(4, egressTestMsg{Seq: uint64(2 + i), Body: []byte("b")})
+	}
+	if len(env.sent) >= 6 {
+		t.Fatalf("burst SendRaw sent %d messages, want coalescing", len(env.sent))
+	}
+	if _, items := n.egress.Pending(); items < 4 {
+		t.Fatalf("burst pending %d items, want >= 4", items)
+	}
+	// Unregistered types bypass the scheduler entirely.
+	type plainMsg struct{ X int }
+	before := len(env.sent)
+	n.SendRaw(5, plainMsg{X: 1})
+	if len(env.sent) != before+1 {
+		t.Fatal("unregistered raw type did not go direct")
+	}
+	if _, ok := env.sent[len(env.sent)-1].msg.(plainMsg); !ok {
+		t.Fatal("unregistered raw type was re-framed")
+	}
+}
+
+// TestRawNeverEntersInbox: a hostile batch carrier must not smuggle
+// non-allowlisted kinds (e.g. snapshots) into the inbox, and raw items must
+// not be votable.
+func TestRawNeverEntersInbox(t *testing.T) {
+	self := ids.NodeID(4)
+	comp := testComp(9, 1, 4, 5, 6)
+	src := testComp(7, 3, 1, 2, 3)
+	n, _ := memberNode(t, self, comp, src)
+
+	snapItem := group.BatchItem{
+		Kind:    kindSnapshot,
+		MsgID:   crypto.Hash([]byte("sneak")),
+		Payload: []byte{0x01},
+	}
+	items := []group.BatchItem{snapItem}
+	var carrier group.GroupMsg
+	capture := func(_ ids.NodeID, msg actor.Message) {
+		if m, ok := msg.(group.GroupMsg); ok {
+			carrier = m
+		}
+	}
+	group.SendBatchToNode(capture, src, 1, self, kindBatch, crypto.Hash([]byte("b")), items)
+	for _, sender := range src.Members {
+		n.handleBatch(sender.ID, carrier)
+	}
+	// The snapshot share must not have been observed: no tally entries, no
+	// phase change, nothing accepted (Observe would need a majority anyway,
+	// but the allowlist stops it at the door).
+	if len(n.snapShares) != 0 || n.phase != phaseMember {
+		t.Fatal("non-allowlisted kind leaked through a batch carrier")
+	}
+}
+
+// TestRawItemRejectsEngineFrames: a kindRaw payload must be an extension-tag
+// frame — a hostile peer must not reach OnRawMessage with engine-internal
+// payload types (nor buy decode work on them) through the raw path.
+func TestRawItemRejectsEngineFrames(t *testing.T) {
+	self := ids.NodeID(4)
+	comp := testComp(9, 1, 4, 5, 6)
+	src := testComp(7, 3, 1, 2, 3)
+	n, _ := memberNode(t, self, comp, src)
+	var got []any
+	n.cfg.OnRawMessage = func(_ ids.NodeID, msg any) { got = append(got, msg) }
+
+	engineFrame := encodePayload(snapshotPayload{})
+	n.handleRawItem(1, engineFrame)
+	n.handleRawItem(1, []byte{0x01, 0x02})
+	n.handleRawItem(1, nil)
+	if len(got) != 0 {
+		t.Fatalf("engine/garbage frames reached OnRawMessage: %#v", got)
+	}
+
+	registerEgressTestMsg()
+	extFrame, _ := encodeRawWire(egressTestMsg{Seq: 1})
+	n.handleRawItem(1, extFrame)
+	if len(got) != 1 {
+		t.Fatal("extension frame did not reach OnRawMessage")
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"atum/internal/group"
 	"atum/internal/ids"
 	"atum/internal/overlay"
-	"atum/internal/smr"
 )
 
 // Broadcast disseminates a message to every node in the system (§3.3.4).
@@ -58,13 +57,14 @@ func (n *Node) handleGossip(acc group.Accepted, p gossipPayload) {
 	n.forwardGossip(d)
 }
 
-// forwardGossip offers every overlay link to the Forward callback and sends
-// (or, with batching, enqueues) this member's share of the chosen group
-// messages. The default (nil callback) floods all cycles in both directions,
-// which is the latency-optimal configuration the paper's ASub experiments
-// use; AStream restricts forwarding to one or two cycles (§6.3). The Forward
-// decision is always taken here, per broadcast per link — batching changes
-// only how the chosen sends are framed, never which sends are chosen.
+// forwardGossip offers every overlay link to the Forward callback and queues
+// this member's share of the chosen group messages on the egress scheduler.
+// The default (nil callback) floods all cycles in both directions, which is
+// the latency-optimal configuration the paper's ASub experiments use;
+// AStream restricts forwarding to one or two cycles (§6.3). The Forward
+// decision is always taken here, per broadcast per link — the scheduler
+// changes only how the chosen sends are framed, never which sends are
+// chosen. All per-destination queueing lives in internal/egress.
 func (n *Node) forwardGossip(d Delivery) {
 	st := n.st
 	if st == nil {
@@ -84,137 +84,7 @@ func (n *Node) forwardGossip(d Delivery) {
 			}
 			sent[nbr.Key()] = true
 			msgID := gossipMsgID(d.BcastID, st.comp, nbr.GroupID)
-			n.enqueueGossip(nbr, msgID, payload)
-		}
-	}
-}
-
-// --- per-destination gossip batching (send side) ---
-//
-// Under k concurrent broadcasts, the unbatched dissemination phase costs k
-// full group messages per overlay link per hop: k× the framing and k×|dst|
-// per-member sends. The aggregator coalesces every gossip payload bound for
-// the same neighbor composition within the flush window into one
-// kindGossipBatch carrier. Correctness needs no cross-member coordination:
-// the receiver votes each inner payload into its inbox under the payload's
-// own MsgID, so members whose windows cut differently still converge (see
-// internal/group/batch.go).
-
-// pendingBatch accumulates gossip payloads for one destination composition.
-type pendingBatch struct {
-	dst   group.Composition // destination as of enqueue time
-	items []group.BatchItem
-	bytes int // payload + framing bytes accumulated
-}
-
-// gossipFlushTimer drives the ModeAsync flush window.
-type gossipFlushTimer struct{}
-
-// enqueueGossip adds one gossip payload to the destination's pending batch,
-// flushing immediately when the batch is full. With GossipMaxBatch == 1 this
-// degenerates to the unbatched path: the payload is sent synchronously as a
-// plain kindGossip message, bit-identical to the pre-batching engine.
-func (n *Node) enqueueGossip(dst group.Composition, msgID crypto.Digest, payload []byte) {
-	if n.cfg.GossipMaxBatch <= 1 {
-		st := n.st
-		if st == nil {
-			return
-		}
-		group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, dst,
-			kindGossip, msgID, payload)
-		return
-	}
-	k := dst.Key()
-	p, ok := n.gossipPend[k]
-	if !ok {
-		p = &pendingBatch{dst: dst.Clone()}
-		n.gossipPend[k] = p
-		n.gossipOrder = append(n.gossipOrder, k)
-	}
-	p.items = append(p.items, group.BatchItem{Kind: kindGossip, MsgID: msgID, Payload: payload})
-	p.bytes += len(payload) + group.BatchWireOverhead
-	if len(p.items) >= n.cfg.GossipMaxBatch || p.bytes >= n.cfg.GossipMaxBatchBytes {
-		n.flushGossipDst(k)
-		return
-	}
-	// ModeSync flushes at the round tick (sends are round-quantized anyway);
-	// ModeAsync arms a window timer on the first pending payload.
-	if n.cfg.Mode != smr.ModeSync && !n.gossipFlushArmed {
-		n.gossipFlushArmed = true
-		n.env.SetTimer(n.cfg.GossipFlushInterval, gossipFlushTimer{})
-	}
-}
-
-// flushGossip sends every pending batch. It runs at round ticks (ModeSync),
-// at window-timer expiry (ModeAsync), and — critically — at the top of every
-// reconfiguration: pending payloads and their MsgIDs were derived under the
-// current epoch, and must leave stamped with it before the epoch bumps.
-func (n *Node) flushGossip() {
-	for len(n.gossipOrder) > 0 {
-		n.flushGossipDst(n.gossipOrder[0])
-	}
-}
-
-// flushGossipDst sends one destination's pending batch. Single-payload
-// batches are unwrapped into plain kindGossip messages: the batch frame would
-// only add overhead.
-func (n *Node) flushGossipDst(k group.Key) {
-	p, ok := n.gossipPend[k]
-	if !ok {
-		return
-	}
-	delete(n.gossipPend, k)
-	for i := range n.gossipOrder {
-		if n.gossipOrder[i] == k {
-			n.gossipOrder = append(n.gossipOrder[:i], n.gossipOrder[i+1:]...)
-			break
-		}
-	}
-	st := n.st
-	if st == nil {
-		return
-	}
-	if len(p.items) == 1 {
-		group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, p.dst,
-			kindGossip, p.items[0].MsgID, p.items[0].Payload)
-		return
-	}
-	n.gossipSeq++
-	group.SendBatch(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, p.dst,
-		kindGossipBatch, batchMsgID(st.comp, k.GroupID, n.cfg.Identity.ID, n.gossipSeq), p.items)
-}
-
-// batchMsgID identifies one batch carrier. It is unique per sender, not
-// matched across members: inner MsgIDs carry the logical identities.
-func batchMsgID(src group.Composition, dst ids.GroupID, self ids.NodeID, seq uint64) crypto.Digest {
-	d := crypto.Hash([]byte("atum-gbatch"))
-	d = crypto.HashUint64(d, uint64(src.GroupID))
-	d = crypto.HashUint64(d, src.Epoch)
-	d = crypto.HashUint64(d, uint64(dst))
-	d = crypto.HashUint64(d, uint64(self))
-	d = crypto.HashUint64(d, seq)
-	return d
-}
-
-// handleGossipBatch unpacks a batch carrier and votes every inner payload
-// into the inbox as if it had arrived as a separate message from the same
-// link-authenticated sender. Dedup, delivery, and re-forwarding then follow
-// the ordinary per-broadcast path, so Forward-callback semantics hold per
-// inner broadcast, not per batch. Only gossip may ride batches: other kinds
-// have node-addressed or certificate-mode handling that must not be
-// reachable through a carrier.
-func (n *Node) handleGossipBatch(from ids.NodeID, m group.GroupMsg) {
-	inner, err := group.UnpackBatch(m)
-	if err != nil {
-		n.logf("gossip batch from %v: %v", from, err)
-		return
-	}
-	for _, im := range inner {
-		if im.Kind != kindGossip {
-			continue
-		}
-		if acc, ok := n.inbox.Observe(n.env.Now(), from, im); ok {
-			n.handleAccepted(acc)
+			n.sendViaEgress(st.comp, nbr, kindGossip, msgID, payload)
 		}
 	}
 }
@@ -253,13 +123,13 @@ func (n *Node) applyCycleAssign(p cycleAssignPayload) {
 	// groups already, or self-looped).
 	if oldPred.GroupID != st.comp.GroupID && oldPred.GroupID != p.Pred.GroupID {
 		pl := n.encPayload(setNeighborPayload{Cycle: p.Cycle, Dir: overlay.Succ, Comp: oldSucc.Clone()})
-		group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, oldPred,
-			kindSetNeighbor, setNbrMsgID(st.comp, oldPred.GroupID, p.Cycle, overlay.Succ), pl)
+		n.sendViaEgress(st.comp, oldPred, kindSetNeighbor,
+			setNbrMsgID(st.comp, oldPred.GroupID, p.Cycle, overlay.Succ), pl)
 	}
 	if oldSucc.GroupID != st.comp.GroupID && oldSucc.GroupID != p.Succ.GroupID {
 		pl := n.encPayload(setNeighborPayload{Cycle: p.Cycle, Dir: overlay.Pred, Comp: oldPred.Clone()})
-		group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, oldSucc,
-			kindSetNeighbor, setNbrMsgID(st.comp, oldSucc.GroupID, p.Cycle, overlay.Pred), pl)
+		n.sendViaEgress(st.comp, oldSucc, kindSetNeighbor,
+			setNbrMsgID(st.comp, oldSucc.GroupID, p.Cycle, overlay.Pred), pl)
 	}
 	st.nbrs.Preds[p.Cycle] = p.Pred.Clone()
 	st.nbrs.Succs[p.Cycle] = p.Succ.Clone()
@@ -318,8 +188,7 @@ func (n *Node) maybeRefreshSender(m group.GroupMsg) {
 	}
 	payload := n.encPayload(neighborUpdatePayload{NewComp: st.comp.Clone()})
 	msgID := freshMsgID(st.comp, m.SrcGroup)
-	group.Send(n.sendGroupQuantized, n.env.Rand(), oldComp, n.cfg.Identity.ID, srcComp,
-		kindNeighborUpdate, msgID, payload)
+	n.sendViaEgress(oldComp, srcComp, kindNeighborUpdate, msgID, payload)
 }
 
 func freshMsgID(cur group.Composition, to ids.GroupID) crypto.Digest {

@@ -302,9 +302,9 @@ func (n *Node) adoptSnapshot(acc group.Accepted, p snapshotPayload) {
 // snapshot and restarts SMR on it. Shared by snapshot adoption (joins,
 // exchanges, merges) and epoch catch-up.
 func (n *Node) installGroupState(st *groupState) {
-	// Epoch catch-up can replace the state of a member with gossip batches
+	// Epoch catch-up can replace the state of a member with egress batches
 	// still pending under the old epoch; send them stamped with it first.
-	n.flushGossip()
+	n.egress.FlushAll()
 	if n.replica != nil {
 		n.replica.Stop()
 		n.replica = nil

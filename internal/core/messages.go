@@ -1,17 +1,12 @@
 package core
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
-	"sync"
 
 	"atum/internal/crypto"
 	"atum/internal/group"
 	"atum/internal/ids"
 	"atum/internal/overlay"
-	"atum/internal/smr/dolev"
-	"atum/internal/smr/pbft"
 	"atum/internal/wire"
 )
 
@@ -114,15 +109,23 @@ const (
 	kindMergeReject
 	kindSnapshot
 	kindJoinRedirect
-	// kindGossipBatch is a carrier of several gossip payloads bound for the
-	// same neighbor vgroup; the receiver unpacks it and votes each inner
-	// payload into its inbox individually (see internal/group batching).
-	kindGossipBatch
+	// kindBatch is the egress batch carrier: several logical messages bound
+	// for the same destination, folded into one group-layer batch frame. The
+	// receiver unpacks it and processes each inner item individually —
+	// votable kinds through its inbox, raw items through the OnRawMessage
+	// hook (see internal/egress and egress.go). Formerly kindGossipBatch;
+	// the tag value is unchanged, the carrier now admits every batchable
+	// kind.
+	kindBatch
+	// kindRaw carries one wire-extension-framed application raw message
+	// (RegisterRawMessage), either standalone or inside a kindBatch carrier.
+	// Raw items are link-authenticated only: they bypass the inbox and go
+	// straight to OnRawMessage, exactly like a direct SendRaw.
+	kindRaw
 )
 
 // --- group message payloads (wire-envelope encoded — see wirecodec.go and
-// docs/WIRE.md; must stay map-free so the legacy gob fallback encoding is
-// deterministic across members too) ---
+// docs/WIRE.md) ---
 
 // gossipPayload carries one broadcast hop between vgroups.
 type gossipPayload struct {
@@ -366,68 +369,14 @@ type mergeStartOp struct {
 
 // --- codec ---
 
-var gobRegisterOnce sync.Once
-
-func registerGob() {
-	gobRegisterOnce.Do(func() {
-		// Group message payloads.
-		gob.Register(gossipPayload{})
-		gob.Register(walkPayload{})
-		gob.Register(walkAttachment{})
-		gob.Register(backwardPayload{})
-		gob.Register(walkResult{})
-		gob.Register(neighborUpdatePayload{})
-		gob.Register(setNeighborPayload{})
-		gob.Register(cycleAssignPayload{})
-		gob.Register(exchangeConfirmPayload{})
-		gob.Register(exchangeCancelPayload{})
-		gob.Register(mergeRequestPayload{})
-		gob.Register(mergeAcceptPayload{})
-		gob.Register(mergeRejectPayload{})
-		gob.Register(snapshotPayload{})
-		gob.Register(joinRedirectPayload{})
-		// SMR op payloads.
-		gob.Register(bcastOp{})
-		gob.Register(joinOp{})
-		gob.Register(leaveOp{})
-		gob.Register(renounceOp{})
-		gob.Register(evictVoteOp{})
-		gob.Register(inputVoteOp{})
-		gob.Register(splitOp{})
-		gob.Register(walkStartOp{})
-		gob.Register(shuffleStartOp{})
-		gob.Register(walkTimeoutOp{})
-		gob.Register(mergeStartOp{})
-		// SMR engine messages (for the gob-based TCP transport).
-		gob.Register(SMREnvelope{})
-		gob.Register(Heartbeat{})
-		gob.Register(JoinContact{})
-		gob.Register(ContactInfo{})
-		gob.Register(JoinRequest{})
-		gob.Register(Renounce{})
-		gob.Register(group.GroupMsg{})
-		gob.Register(dolev.SlotMsg{})
-		gob.Register(pbft.Request{})
-		gob.Register(pbft.PrePrepare{})
-		gob.Register(pbft.Prepare{})
-		gob.Register(pbft.Commit{})
-		gob.Register(pbft.Checkpoint{})
-		gob.Register(pbft.ViewChange{})
-		gob.Register(pbft.NewView{})
-	})
-}
-
-// envelope wraps payloads for gob so any registered concrete type round-trips.
-type envelope struct {
-	V any
-}
-
 // kindPayloads maps every group-message kind to a prototype of the payload
-// type it carries. It is the registry the codecs are checked against: a new
-// kind* constant without an entry here (or a payload type missing from
-// registerGob / the wire tag table) is caught by TestKindPayloadRegistry.
-// kindGossipBatch is absent by design — its payload is a group-layer batch
-// frame (internal/group), not an enveloped engine payload.
+// type it carries. It is the registry the codec is checked against: a new
+// kind* constant without an entry here (or a payload type missing from the
+// wire tag table) is caught by TestKindPayloadRegistry. kindBatch and
+// kindRaw are absent by design — a batch carrier's payload is a group-layer
+// batch frame (internal/group) and a raw item's payload is an
+// extension-tagged application frame (rawext.go), not enveloped engine
+// payloads.
 var kindPayloads = map[group.Kind]any{
 	kindGossip:          gossipPayload{},
 	kindWalk:            walkPayload{},
@@ -458,54 +407,34 @@ func encodePayload(v any) []byte {
 	return b
 }
 
-// encodePayloadGob is the legacy gob envelope, kept for one release behind
-// Config.GobEnvelope so mixed clusters interop during migration. Payload
-// structs are map-free, so gob encoding is deterministic too.
-func encodePayloadGob(v any) []byte {
-	registerGob()
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(envelope{V: v}); err != nil {
-		// Only engine-defined registered types reach here; failure is a bug.
-		panic(fmt.Sprintf("core: encode %T: %v", v, err))
-	}
-	return buf.Bytes()
-}
+// encPayload encodes a payload through the wire envelope. (The method
+// survives its legacy gob alternative: every encode site reads naturally and
+// a future codec knob would slot back in here.)
+func (n *Node) encPayload(v any) []byte { return encodePayload(v) }
 
-// encPayload encodes a payload with this node's configured envelope. The
-// decode side is codec-agnostic, so nodes with different settings interop —
-// see decodePayload.
-func (n *Node) encPayload(v any) []byte {
-	if n.cfg.GobEnvelope {
-		return encodePayloadGob(v)
-	}
-	return encodePayload(v)
-}
-
-// decodePayload reverses encodePayload and encodePayloadGob. The two
-// envelopes are distinguished by the first byte: wire frames start with the
-// 0x00 magic, gob streams never do (their first byte is a nonzero message
-// length). Receivers therefore decode both regardless of their own
-// Config.GobEnvelope setting, which is what lets mixed clusters interop
-// while a migration is in flight.
+// decodePayload reverses encodePayload. Only wire-envelope frames are
+// accepted: the legacy gob envelope (Config.GobEnvelope) was removed one
+// release after the wire codec shipped, as scheduled — a gob stream's first
+// byte is a nonzero message length, so it now fails the magic check with a
+// descriptive error instead of decoding (docs/WIRE.md migration notes).
 func decodePayload(b []byte) (any, error) {
 	if len(b) == 0 {
 		return nil, fmt.Errorf("core: decode payload: empty")
 	}
-	if b[0] == wireEnvMagic {
-		return decodeWire(b)
+	if b[0] != wireEnvMagic {
+		return nil, fmt.Errorf("core: decode payload: not a wire envelope (first byte %#x; the legacy gob envelope is no longer accepted)", b[0])
 	}
-	registerGob()
-	var env envelope
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&env); err != nil {
-		return nil, fmt.Errorf("core: decode payload: %w", err)
-	}
-	return env.V, nil
+	return decodeWire(b)
 }
 
 // opDigest content-addresses an operation payload: vote tallies and the
 // applied-set dedup key on it.
 func opDigest(b []byte) crypto.Digest { return crypto.Hash(b) }
 
-// RegisterMessages registers every engine message type with encoding/gob;
-// the TCP transport calls it before decoding traffic.
-func RegisterMessages() { registerGob() }
+// RegisterMessages is a no-op kept for API compatibility: engine messages
+// ride the deterministic wire codec on every transport, so there is nothing
+// left to register with encoding/gob. Applications whose raw-message types
+// are NOT registered in the wire extension range (RegisterRawMessage) still
+// register those types with gob themselves for the TCP transport's fallback
+// frames.
+func RegisterMessages() {}

@@ -5,6 +5,7 @@ import (
 
 	"atum/internal/actor"
 	"atum/internal/crypto"
+	"atum/internal/egress"
 	"atum/internal/group"
 	"atum/internal/ids"
 	"atum/internal/overlay"
@@ -85,16 +86,14 @@ type Node struct {
 
 	round uint64
 	outQ  []queuedSend
-	// Per-destination gossip batching (see gossip.go): pending payloads by
-	// destination composition key, in first-enqueue order.
-	gossipPend       map[group.Key]*pendingBatch
-	gossipOrder      []group.Key
-	gossipFlushArmed bool // ModeAsync window timer pending
-	gossipSeq        uint64
-	lastHB           time.Duration
-	hbSeen           map[ids.NodeID]time.Duration
-	evProp           map[ids.NodeID]uint64 // eviction proposed for target at epoch
-	byzEvictLast     time.Duration
+	// egress is the unified per-destination outbound scheduler (see
+	// egress.go and internal/egress): every sender in the engine feeds it.
+	egress       *egress.Scheduler
+	egressSeq    uint64 // batch-carrier sequence (batchMsgID uniqueness)
+	lastHB       time.Duration
+	hbSeen       map[ids.NodeID]time.Duration
+	evProp       map[ids.NodeID]uint64 // eviction proposed for target at epoch
+	byzEvictLast time.Duration
 
 	seen  map[crypto.Digest]bool
 	seenQ []crypto.Digest
@@ -159,7 +158,6 @@ var _ actor.Node = (*Node)(nil)
 // New creates a node from its configuration.
 func New(cfg Config) *Node {
 	cfg = cfg.withDefaults()
-	registerGob()
 	n := &Node{
 		cfg:            cfg,
 		signer:         cfg.Scheme.NewSigner(cfg.SignerSeed),
@@ -175,13 +173,13 @@ func New(cfg Config) *Node {
 		walkDeadlines:  make(map[crypto.Digest]time.Duration),
 		lastChains:     make(map[crypto.Digest][]overlay.StepCert),
 		freshSent:      make(map[group.Key]time.Duration),
-		gossipPend:     make(map[group.Key]*pendingBatch),
 		pen:            make(map[group.Key][]penMsg),
 		snapShares:     make(map[snapShareKey]*snapTally),
 		recentSnaps:    make(map[uint64][]byte),
 		reShared:       make(map[ids.NodeID]time.Duration),
 	}
 	n.inbox = group.NewInbox(n.lookupComp)
+	n.egress = n.newEgress()
 	return n
 }
 
@@ -260,9 +258,8 @@ func (n *Node) Timer(_ actor.TimerID, data any) {
 	switch t := data.(type) {
 	case tickTimer:
 		n.handleTick()
-	case gossipFlushTimer:
-		n.gossipFlushArmed = false
-		n.flushGossip()
+	case egressFlushTimer:
+		n.egress.OnTimer()
 	case smrTimer:
 		if n.replica != nil && t.epoch == n.replicaEpoch && !n.byzActive() {
 			n.replica.HandleTimer(t.data)
@@ -305,8 +302,14 @@ func (n *Node) routeGroupMsg(from ids.NodeID, m group.GroupMsg) {
 	if m.Kind == kindSnapshot && n.observeCatchUpShare(from, m) {
 		return
 	}
-	if m.Kind == kindGossipBatch {
-		n.handleGossipBatch(from, m)
+	if m.Kind == kindBatch {
+		n.handleBatch(from, m)
+		return
+	}
+	if m.Kind == kindRaw {
+		if m.Payload != nil {
+			n.handleRawItem(from, m.Payload)
+		}
 		return
 	}
 	if n.cfg.ReplyMode == ReplyCertificates {
@@ -327,18 +330,40 @@ func (n *Node) routeGroupMsg(from ids.NodeID, m group.GroupMsg) {
 	}
 }
 
-// SendRaw sends an application-level message directly to another node; the
+// SendRaw sends an application-level message to another node; the
 // receiver's OnRawMessage hook gets it. Applications layer their own
-// protocols (file chunks, stream data) on this.
+// protocols (file chunks, stream data) on this. Types registered in the
+// wire extension-tag range (RegisterRawMessage) ride the egress scheduler:
+// concurrent sends to the same node coalesce into batch carriers, and
+// byte-level transports frame them through the wire codec instead of the
+// gob fallback. Unregistered types are sent directly, as before.
 func (n *Node) SendRaw(to ids.NodeID, msg any) {
-	if n.env != nil && !n.stopped {
-		n.sendNow(to, msg)
+	if n.env == nil || n.stopped {
+		return
 	}
+	if n.cfg.GossipMaxBatch > 1 && !n.cfg.EgressGossipOnly {
+		if payload, ok := encodeRawWire(msg); ok {
+			src := group.Composition{}
+			if n.st != nil {
+				src = n.st.comp
+			}
+			n.egress.EnqueueNode(src, to,
+				group.BatchItem{Kind: kindRaw, MsgID: crypto.Hash(payload), Payload: payload})
+			return
+		}
+	}
+	n.sendNow(to, msg)
 }
 
 // SetBehavior switches the node's behaviour (experiment fault injection;
 // Byzantine behaviours activate once the node is a vgroup member).
 func (n *Node) SetBehavior(b Behavior) { n.cfg.Behavior = b }
+
+// SetEgressGossipOnly toggles the egress-scheduler ablation at runtime. The
+// experiment harness uses it so the batched and baseline measurements share
+// one identical growth history (toggling config before growth would fork
+// the RNG consumption and hence the overlay topology under comparison).
+func (n *Node) SetEgressGossipOnly(v bool) { n.cfg.EgressGossipOnly = v }
 
 // Now returns the node's clock (virtual in simulation).
 func (n *Node) Now() time.Duration {
@@ -356,9 +381,9 @@ func (n *Node) handleTick() {
 	n.env.SetTimer(n.cfg.RoundDuration, tickTimer{})
 
 	// The lockstep round is the ModeSync batching window: frame pending
-	// gossip batches first so they depart with this round's quantized flush.
+	// egress batches first so they depart with this round's quantized flush.
 	if n.cfg.Mode == smr.ModeSync {
-		n.flushGossip()
+		n.egress.FlushAll()
 	}
 
 	// Flush round-quantized group messages (synchronous mode: one overlay

@@ -1,0 +1,104 @@
+package core
+
+// The wire envelope's application extension-tag range. Kind tags 0x80–0xFF
+// of the payload envelope (docs/WIRE.md) are reserved for application
+// raw-message types: applications register a per-type codec here, and their
+// SendRaw traffic becomes wire-codable — byte-level transports frame it
+// through the deterministic wire envelope instead of the gob fallback, and
+// the egress scheduler can fold it into batch carriers alongside engine
+// kinds. Tags are append-only per application, exactly like the engine's
+// own kind tags; the assignments in use are documented in docs/WIRE.md.
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+
+	"atum/internal/wire"
+)
+
+// RawTagMin is the first wire-envelope kind tag of the application extension
+// range; every tag from here through 0xFF is application-defined.
+const RawTagMin byte = 0x80
+
+// rawCodec is one registered application raw-message type.
+type rawCodec struct {
+	tag       byte
+	typ       reflect.Type
+	marshal   func(v any, e *wire.Encoder)
+	unmarshal func(d *wire.Decoder) any
+}
+
+var rawReg struct {
+	sync.RWMutex
+	byTag  map[byte]*rawCodec
+	byType map[reflect.Type]*rawCodec
+}
+
+// RegisterRawMessage registers an application raw-message type under a wire
+// extension tag (RawTagMin..0xFF). prototype fixes the concrete type;
+// marshal writes a value of that type, unmarshal reads one back (returning
+// the decoded value; decode errors latch in the Decoder and are checked by
+// the envelope layer). Registration is process-wide and append-only:
+// re-registering a tag with a different type, or a type under a different
+// tag, panics — tags are a wire-compatibility contract, not a preference.
+// Registering the same (tag, type) pair again is a no-op, so package-level
+// registration from several nodes in one process is safe.
+func RegisterRawMessage(tag byte, prototype any, marshal func(v any, e *wire.Encoder), unmarshal func(d *wire.Decoder) any) {
+	if tag < RawTagMin {
+		panic(fmt.Sprintf("core: raw message tag %#x below the extension range (%#x..0xff)", tag, RawTagMin))
+	}
+	typ := reflect.TypeOf(prototype)
+	rawReg.Lock()
+	defer rawReg.Unlock()
+	if rawReg.byTag == nil {
+		rawReg.byTag = make(map[byte]*rawCodec)
+		rawReg.byType = make(map[reflect.Type]*rawCodec)
+	}
+	if prev, ok := rawReg.byTag[tag]; ok {
+		if prev.typ == typ {
+			return // idempotent re-registration
+		}
+		panic(fmt.Sprintf("core: raw message tag %#x already registered for %v", tag, prev.typ))
+	}
+	if prev, ok := rawReg.byType[typ]; ok {
+		panic(fmt.Sprintf("core: raw message type %v already registered under tag %#x", typ, prev.tag))
+	}
+	c := &rawCodec{tag: tag, typ: typ, marshal: marshal, unmarshal: unmarshal}
+	rawReg.byTag[tag] = c
+	rawReg.byType[typ] = c
+}
+
+// encodeRawWire frames a registered application raw message as a complete
+// wire-envelope frame ([magic][ext tag][version][body]); false when the
+// type is unregistered (callers then fall back to direct/gob paths).
+func encodeRawWire(v any) ([]byte, bool) {
+	rawReg.RLock()
+	c, ok := rawReg.byType[reflect.TypeOf(v)]
+	rawReg.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	var e wire.Encoder
+	e.Byte(wireEnvMagic)
+	e.Byte(c.tag)
+	e.Byte(wireEnvV1)
+	c.marshal(v, &e)
+	return e.Bytes(), true
+}
+
+// decodeRawWire reverses encodeRawWire for one extension tag; the envelope
+// header has already been consumed by the caller.
+func decodeRawWire(tag byte, d *wire.Decoder) (any, error) {
+	rawReg.RLock()
+	c, ok := rawReg.byTag[tag]
+	rawReg.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unregistered raw message tag %#x", tag)
+	}
+	v := c.unmarshal(d)
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("core: decode raw message tag %#x: %w", tag, err)
+	}
+	return v, nil
+}

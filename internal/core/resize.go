@@ -76,8 +76,8 @@ func (n *Node) applySplit(o splitOp) {
 		} else {
 			eNbrs.Succs[c] = oldSucc.Clone()
 			pl := n.encPayload(setNeighborPayload{Cycle: c, Dir: overlay.Pred, Comp: eComp.Clone()})
-			group.Send(n.sendGroupQuantized, n.env.Rand(), old, n.cfg.Identity.ID, oldSucc,
-				kindSetNeighbor, setNbrMsgID(old, oldSucc.GroupID, c, overlay.Pred), pl)
+			n.sendViaEgress(old, oldSucc, kindSetNeighbor,
+				setNbrMsgID(old, oldSucc.GroupID, c, overlay.Pred), pl)
 		}
 	}
 
@@ -115,9 +115,9 @@ func (n *Node) applySplit(o splitOp) {
 
 // installSplitHalf moves this member into the freshly split-off vgroup.
 func (n *Node) installSplitHalf(eComp group.Composition, eNbrs overlay.Neighbors, dComp group.Composition) {
-	// Pending gossip batches were enqueued under the parent composition;
+	// Pending egress batches were enqueued under the parent composition;
 	// they must leave stamped with it, not with the split-off group's.
-	n.flushGossip()
+	n.egress.FlushAll()
 	if n.replica != nil {
 		n.replica.Stop()
 		n.replica = nil
@@ -155,16 +155,15 @@ func (n *Node) applySplitInsert(p walkPayload) {
 	// Tell the old successor its new predecessor, and give E its position.
 	if oldSucc.GroupID != st.comp.GroupID {
 		pl := n.encPayload(setNeighborPayload{Cycle: p.Cycle, Dir: overlay.Pred, Comp: e.Clone()})
-		group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, oldSucc,
-			kindSetNeighbor, setNbrMsgID(st.comp, oldSucc.GroupID, p.Cycle, overlay.Pred), pl)
+		n.sendViaEgress(st.comp, oldSucc, kindSetNeighbor,
+			setNbrMsgID(st.comp, oldSucc.GroupID, p.Cycle, overlay.Pred), pl)
 	}
 	succForE := oldSucc
 	if oldSucc.GroupID == st.comp.GroupID {
 		succForE = st.comp
 	}
 	assign := n.encPayload(cycleAssignPayload{Cycle: p.Cycle, Pred: st.comp.Clone(), Succ: succForE.Clone()})
-	group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, e,
-		kindCycleAssign, cycleAssignMsgID(st.comp, e.GroupID, p.Cycle), assign)
+	n.sendViaEgress(st.comp, e, kindCycleAssign, cycleAssignMsgID(st.comp, e.GroupID, p.Cycle), assign)
 	if oldSucc.GroupID == st.comp.GroupID {
 		st.nbrs.Preds[p.Cycle] = e.Clone()
 	}
@@ -174,8 +173,8 @@ func (n *Node) applySplitInsert(p walkPayload) {
 
 // applyMergeStart begins a merge attempt: pick a neighbor and ask it to
 // absorb us. dig is the committed op's content digest; the target choice is
-// derived from the agreed bytes, never from a local re-encoding (the
-// envelope is a per-node codec choice during migration).
+// derived from the agreed bytes, never from a local re-encoding (agreed
+// bytes are the only encoding every member is guaranteed to share).
 func (n *Node) applyMergeStart(dig crypto.Digest, o mergeStartOp) {
 	st := n.st
 	if st == nil || o.Epoch != st.comp.Epoch || st.busy {
@@ -202,8 +201,14 @@ func (n *Node) applyMergeStart(dig crypto.Digest, o mergeStartOp) {
 	n.walkDeadlines[mergeID] = n.env.Now() + n.cfg.WalkTimeout
 	n.logf("merge attempt %d: %v -> %v", st.mergeAttempt, st.comp.GroupID, target)
 	pl := n.encPayload(mergeRequestPayload{From: st.comp.Clone()})
+	// The request MsgID derives from the committed op digest, which includes
+	// the attempt counter: a retry to a previously tried target must be a
+	// NEW logical message, or the target's inbox dedups it against the
+	// already-accepted earlier attempt and the requester wedges busy until
+	// the inbox prune — a timing-dependent merge starvation (and, through
+	// the busy flag, a join starvation at this vgroup's contact members).
 	group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, targetComp,
-		kindMergeRequest, mergeMsgID(st.comp, target), pl)
+		kindMergeRequest, crypto.Hash([]byte("atum-mergereq"), dig[:]), pl)
 }
 
 // latestNeighborComp returns the newest known composition of a neighbor.
@@ -221,17 +226,20 @@ func (n *Node) latestNeighborComp(gid ids.GroupID) group.Composition {
 }
 
 // applyMergeRequest is the absorber side: accept the shrunken vgroup's
-// members, or reject if we are busy.
-func (n *Node) applyMergeRequest(src group.Key, p mergeRequestPayload) {
+// members, or reject if we are busy. reqID is the accepted request's MsgID;
+// replies derive theirs from it so each attempt's reply is a fresh logical
+// message at the requester (see the dedup note in applyMergeStart).
+func (n *Node) applyMergeRequest(src group.Key, reqID crypto.Digest, p mergeRequestPayload) {
 	st := n.st
 	if st == nil || p.From.N() == 0 || p.From.GroupID == st.comp.GroupID {
 		return
 	}
 	n.learnComp(p.From)
+	replyID := crypto.Hash([]byte("atum-mergereply"), reqID[:])
 	if st.busy {
 		pl := n.encPayload(mergeRejectPayload{Busy: true})
 		group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, p.From,
-			kindMergeReject, mergeMsgID(st.comp, p.From.GroupID), pl)
+			kindMergeReject, replyID, pl)
 		return
 	}
 	n.emit(EventMerge, p.From.N())
@@ -239,7 +247,7 @@ func (n *Node) applyMergeRequest(src group.Key, p mergeRequestPayload) {
 	// (and its members) that our old composition attests their snapshots.
 	accept := n.encPayload(mergeAcceptPayload{Absorber: st.comp.Clone()})
 	group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, p.From,
-		kindMergeAccept, mergeMsgID(st.comp, p.From.GroupID), accept)
+		kindMergeAccept, replyID, accept)
 
 	members := ids.CloneIdentities(st.comp.Members)
 	added := make([]addedMember, 0, p.From.N())
@@ -271,24 +279,25 @@ func (n *Node) applyMergeAccept(p mergeAcceptPayload) {
 		return
 	}
 	n.logf("dissolving %v/%d into %v", st.comp.GroupID, st.comp.Epoch, p.Absorber.GroupID)
-	// Send pending gossip batches under the dissolving composition before the
-	// state is torn down below — they would otherwise be silently dropped.
-	n.flushGossip()
 	// Close the gap we leave on every cycle: pred and succ become each
 	// other's neighbors (§3.3.3).
 	for c := 0; c < st.nbrs.NumCycles(); c++ {
 		pred, succ := st.nbrs.Preds[c], st.nbrs.Succs[c]
 		if pred.GroupID != st.comp.GroupID {
 			pl := n.encPayload(setNeighborPayload{Cycle: c, Dir: overlay.Succ, Comp: succ.Clone()})
-			group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, pred,
-				kindSetNeighbor, setNbrMsgID(st.comp, pred.GroupID, c, overlay.Succ), pl)
+			n.sendViaEgress(st.comp, pred, kindSetNeighbor,
+				setNbrMsgID(st.comp, pred.GroupID, c, overlay.Succ), pl)
 		}
 		if succ.GroupID != st.comp.GroupID {
 			pl := n.encPayload(setNeighborPayload{Cycle: c, Dir: overlay.Pred, Comp: pred.Clone()})
-			group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, succ,
-				kindSetNeighbor, setNbrMsgID(st.comp, succ.GroupID, c, overlay.Pred), pl)
+			n.sendViaEgress(st.comp, succ, kindSetNeighbor,
+				setNbrMsgID(st.comp, succ.GroupID, c, overlay.Pred), pl)
 		}
 	}
+	// Everything still pending — earlier traffic and the gap closers above —
+	// leaves stamped with the dissolving composition before the state is
+	// torn down below; it would otherwise be silently delayed past the move.
+	n.egress.FlushAll()
 	n.expectSnapshotFrom(p.Absorber)
 	if n.replica != nil {
 		n.replica.Stop()
@@ -340,13 +349,5 @@ func cycleAssignMsgID(src group.Composition, dst ids.GroupID, cycle int) crypto.
 	d = crypto.HashUint64(d, src.Epoch)
 	d = crypto.HashUint64(d, uint64(dst))
 	d = crypto.HashUint64(d, uint64(cycle))
-	return d
-}
-
-func mergeMsgID(src group.Composition, dst ids.GroupID) crypto.Digest {
-	d := crypto.Hash([]byte("atum-mergemsg"))
-	d = crypto.HashUint64(d, uint64(src.GroupID))
-	d = crypto.HashUint64(d, src.Epoch)
-	d = crypto.HashUint64(d, uint64(dst))
 	return d
 }

@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"atum/internal/crypto"
-	"atum/internal/group"
 	"atum/internal/ids"
 )
 
@@ -17,8 +16,8 @@ import (
 
 // applyShuffleStart begins a whole-group shuffle. dig is the committed op's
 // content digest: the shuffle order is derived from the bytes the SMR layer
-// agreed on, never from a local re-encoding (whose envelope is a per-node
-// codec choice during migration — see Config.GobEnvelope).
+// agreed on, never from a local re-encoding (agreed bytes are the only
+// encoding every member is guaranteed to share).
 func (n *Node) applyShuffleStart(dig crypto.Digest, o shuffleStartOp) {
 	st := n.st
 	if st == nil || st.shuffle != nil || o.Epoch != st.comp.Epoch {
@@ -118,8 +117,7 @@ func (n *Node) finishExchange(wo walkOrigin, res walkResult) {
 		// here; release the partner's reservation.
 		n.learnComp(res.Target)
 		pl := n.encPayload(exchangeCancelPayload{WalkID: wo.WalkID})
-		group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, res.Target,
-			kindExchangeCancel, replyMsgID(wo.WalkID, 7), pl)
+		n.sendViaEgress(st.comp, res.Target, kindExchangeCancel, replyMsgID(wo.WalkID, 7), pl)
 		st.shuffle.Suppressed++
 		n.emit(EventExchangeSuppressed, 0)
 		n.shuffleNext()
@@ -138,8 +136,7 @@ func (n *Node) finishExchange(wo walkOrigin, res walkResult) {
 		Member:    outgoing,
 		OriginOld: st.comp.Clone(),
 	})
-	group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, res.Target,
-		kindExchangeConfirm, replyMsgID(wo.WalkID, 8), confirm)
+	n.sendViaEgress(st.comp, res.Target, kindExchangeConfirm, replyMsgID(wo.WalkID, 8), confirm)
 
 	// If we are the member being exchanged away, trust the partner vgroup
 	// to send our snapshot.

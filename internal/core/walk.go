@@ -98,16 +98,20 @@ func (n *Node) forwardWalk(p walkPayload, chain []overlay.StepCert) {
 		}
 		n.learnComp(dst)
 		p.Path = append(p.Path, st.comp.Key())
-		var attach []byte
+		msgID := walkMsgID(p.WalkID, stepIdx, dst.GroupID)
 		if n.cfg.ReplyMode == ReplyCertificates {
-			attach = n.encPayload(walkAttachment{
+			// Certificate-mode hops carry a sender-specific attachment (this
+			// member's chain share), which the batch frame cannot: send
+			// directly.
+			attach := n.encPayload(walkAttachment{
 				Chain:   chain,
 				StepSig: overlay.SignStep(n.signer, n.cfg.Identity.ID, p.WalkID, len(chain), dst),
 			})
+			group.SendAttach(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, dst,
+				kindWalk, msgID, n.encPayload(p), attach)
+			return
 		}
-		msgID := walkMsgID(p.WalkID, stepIdx, dst.GroupID)
-		group.SendAttach(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, dst,
-			kindWalk, msgID, n.encPayload(p), attach)
+		n.sendViaEgress(st.comp, dst, kindWalk, msgID, n.encPayload(p))
 		return
 	}
 }
@@ -335,8 +339,7 @@ func (n *Node) relayBackward(bp backwardPayload) {
 	if !ok {
 		return // route lost (rare reconfiguration race; origin times out)
 	}
-	group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, next,
-		kindWalkBackward, replyMsgID(bp.WalkID, hop), n.encPayload(bp))
+	n.sendViaEgress(st.comp, next, kindWalkBackward, replyMsgID(bp.WalkID, hop), n.encPayload(bp))
 }
 
 // handleBackward relays a backward-phase reply; at the origin it becomes an
@@ -414,8 +417,7 @@ func (n *Node) applyWalkResult(res walkResult) {
 		if res.Purpose == PurposeShuffle && res.Accept && res.Target.N() > 0 {
 			n.learnComp(res.Target)
 			pl := n.encPayload(exchangeCancelPayload{WalkID: res.WalkID})
-			group.Send(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, res.Target,
-				kindExchangeCancel, replyMsgID(res.WalkID, 7), pl)
+			n.sendViaEgress(st.comp, res.Target, kindExchangeCancel, replyMsgID(res.WalkID, 7), pl)
 		}
 		return
 	}

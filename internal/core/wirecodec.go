@@ -19,7 +19,10 @@ package core
 //	byte 3…: body          the type's canonical field encoding
 //
 // Kind tags are append-only: never reorder or reuse them. A format change to
-// any type's body bumps the version byte.
+// any type's body bumps the version byte. Tags 0x80–0xFF are the application
+// extension range: per-type codecs registered through RegisterRawMessage
+// (rawext.go), so app raw messages are wire-codable without the engine
+// knowing their schemas.
 
 import (
 	"fmt"
@@ -202,7 +205,9 @@ func encodeWire(v any) ([]byte, bool) {
 	case pbft.NewView:
 		p.MarshalWire(hdr(wkPBFTNewView))
 	default:
-		return nil, false
+		// Application raw-message types registered in the extension-tag
+		// range (rawext.go) are wire-codable too.
+		return encodeRawWire(v)
 	}
 	return e.Bytes(), true
 }
@@ -414,6 +419,9 @@ func decodeWireDepth(b []byte, depth int) (any, error) {
 		p.UnmarshalWire(d)
 		v = p
 	default:
+		if kind >= RawTagMin {
+			return decodeRawWire(kind, d)
+		}
 		return nil, fmt.Errorf("core: unknown wire envelope kind %d", kind)
 	}
 	if err := d.Finish(); err != nil {
@@ -423,8 +431,9 @@ func decodeWireDepth(b []byte, depth int) (any, error) {
 }
 
 // MessageCodec adapts the engine's wire envelope to byte-level transports
-// (it implements tcpnet.Options.Codec). EncodeMessage reports false for
-// types outside the engine's message set — application raw messages — which
+// (it implements tcpnet.Options.Codec). EncodeMessage covers the engine's
+// message set plus every application raw-message type registered in the
+// extension-tag range; it reports false only for unregistered types, which
 // the transport then carries through its gob fallback.
 type MessageCodec struct{}
 

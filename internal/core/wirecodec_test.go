@@ -1,12 +1,18 @@
 package core
 
 // Coverage for the wire payload envelope (wirecodec.go): per-kind round
-// trips through both codecs, the kind-registry drift check, hostile-input
-// rejection, fuzz, and the WireVsGob size/speed comparison the migration is
-// justified by.
+// trips, the kind-registry drift check, hostile-input rejection (including
+// legacy gob streams, which the engine no longer accepts), fuzz, and the
+// WireVsGob size/speed comparison the migration was justified by. The gob
+// envelope lives on below as a test-local reference implementation only —
+// the production encoder/decoder and the Config.GobEnvelope knob were
+// removed one release after the wire codec shipped, as scheduled.
 
 import (
+	"bytes"
+	"encoding/gob"
 	"reflect"
+	"sync"
 	"testing"
 
 	"atum/internal/crypto"
@@ -18,6 +24,67 @@ import (
 	"atum/internal/smr/pbft"
 	"atum/internal/wire"
 )
+
+// --- test-local reference implementation of the removed gob envelope ---
+
+type gobEnvelope struct {
+	V any
+}
+
+var gobTestRegisterOnce sync.Once
+
+func gobTestRegister() {
+	gobTestRegisterOnce.Do(func() {
+		gob.Register(gossipPayload{})
+		gob.Register(walkPayload{})
+		gob.Register(walkAttachment{})
+		gob.Register(backwardPayload{})
+		gob.Register(walkResult{})
+		gob.Register(neighborUpdatePayload{})
+		gob.Register(setNeighborPayload{})
+		gob.Register(cycleAssignPayload{})
+		gob.Register(exchangeConfirmPayload{})
+		gob.Register(exchangeCancelPayload{})
+		gob.Register(mergeRequestPayload{})
+		gob.Register(mergeAcceptPayload{})
+		gob.Register(mergeRejectPayload{})
+		gob.Register(snapshotPayload{})
+		gob.Register(joinRedirectPayload{})
+		gob.Register(bcastOp{})
+		gob.Register(joinOp{})
+		gob.Register(leaveOp{})
+		gob.Register(renounceOp{})
+		gob.Register(evictVoteOp{})
+		gob.Register(inputVoteOp{})
+		gob.Register(splitOp{})
+		gob.Register(walkStartOp{})
+		gob.Register(shuffleStartOp{})
+		gob.Register(walkTimeoutOp{})
+		gob.Register(mergeStartOp{})
+	})
+}
+
+// encodePayloadGob reproduces the removed legacy envelope byte-for-byte:
+// the size comparison below and the gob-rejection coverage need real gob
+// streams to measure against.
+func encodePayloadGob(t testing.TB, v any) []byte {
+	t.Helper()
+	gobTestRegister()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gobEnvelope{V: v}); err != nil {
+		t.Fatalf("gob encode %T: %v", v, err)
+	}
+	return buf.Bytes()
+}
+
+func decodePayloadGob(b []byte) (any, error) {
+	gobTestRegister()
+	var env gobEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&env); err != nil {
+		return nil, err
+	}
+	return env.V, nil
+}
 
 func wcIdentity(i uint64) ids.Identity {
 	return ids.Identity{ID: ids.NodeID(i), Addr: "sim:addr", PubKey: []byte{byte(i), 2, 3, 4}}
@@ -172,8 +239,8 @@ func fullMessageValues() []any {
 }
 
 // TestWireEnvelopeRoundTrip pins exact value round-trips for every payload
-// and message kind through the wire envelope, and — for engine payloads —
-// through the gob fallback and the auto-detecting decoder.
+// and message kind through the wire envelope; legacy gob streams must now be
+// rejected by decodePayload, never silently decoded.
 func TestWireEnvelopeRoundTrip(t *testing.T) {
 	for _, v := range append(fullPayloadValues(), fullMessageValues()...) {
 		b, ok := encodeWire(v)
@@ -192,7 +259,6 @@ func TestWireEnvelopeRoundTrip(t *testing.T) {
 		}
 	}
 	for _, v := range fullPayloadValues() {
-		// The auto-detecting decoder must route both envelopes correctly.
 		got, err := decodePayload(encodePayload(v))
 		if err != nil {
 			t.Fatalf("%T: decodePayload(wire): %v", v, err)
@@ -200,12 +266,10 @@ func TestWireEnvelopeRoundTrip(t *testing.T) {
 		if !reflect.DeepEqual(got, v) {
 			t.Fatalf("%T: wire envelope via decodePayload mismatch", v)
 		}
-		got, err = decodePayload(encodePayloadGob(v))
-		if err != nil {
-			t.Fatalf("%T: decodePayload(gob): %v", v, err)
-		}
-		if !reflect.DeepEqual(got, v) {
-			t.Fatalf("%T: gob envelope via decodePayload mismatch", v)
+		// The gob era is over: a legacy stream must fail the magic check
+		// (its first byte is a nonzero message length), not decode.
+		if _, err := decodePayload(encodePayloadGob(t, v)); err == nil {
+			t.Fatalf("%T: legacy gob envelope accepted by decodePayload", v)
 		}
 	}
 }
@@ -223,14 +287,15 @@ func TestWireEnvelopeDeterministic(t *testing.T) {
 }
 
 // TestKindPayloadRegistry catches the add-a-payload-forget-to-register bug:
-// every group-message kind* constant must map to a payload type that both
-// codecs handle. kindGossipBatch is the one deliberate exception (its
-// payload is a group-layer batch frame).
+// every group-message kind* constant must map to a payload type the wire
+// codec handles. kindBatch and kindRaw are the deliberate exceptions (their
+// payloads are a group-layer batch frame and an application extension frame
+// respectively).
 func TestKindPayloadRegistry(t *testing.T) {
-	for k := kindGossip; k <= kindGossipBatch; k++ {
-		if k == kindGossipBatch {
+	for k := kindGossip; k <= kindRaw; k++ {
+		if k == kindBatch || k == kindRaw {
 			if _, ok := kindPayloads[k]; ok {
-				t.Fatalf("kindGossipBatch must not be in kindPayloads (batch frames are group-layer)")
+				t.Fatalf("kind %d must not be in kindPayloads (carrier/extension frames are not engine payloads)", k)
 			}
 			continue
 		}
@@ -249,22 +314,6 @@ func TestKindPayloadRegistry(t *testing.T) {
 		}
 		if reflect.TypeOf(v) != reflect.TypeOf(proto) {
 			t.Fatalf("kind %d: wire round-trip changed type %T -> %T", k, proto, v)
-		}
-		// Gob fallback must have the type registered (encode panics if not).
-		gb := func() (out []byte) {
-			defer func() {
-				if r := recover(); r != nil {
-					t.Fatalf("kind %d: payload type %T not gob-registered: %v", k, proto, r)
-				}
-			}()
-			return encodePayloadGob(proto)
-		}()
-		v, err = decodePayload(gb)
-		if err != nil {
-			t.Fatalf("kind %d: gob decode of %T: %v", k, proto, err)
-		}
-		if reflect.TypeOf(v) != reflect.TypeOf(proto) {
-			t.Fatalf("kind %d: gob round-trip changed type %T -> %T", k, proto, v)
 		}
 	}
 }
@@ -318,7 +367,7 @@ func FuzzDecodePayload(f *testing.F) {
 	for _, v := range fullPayloadValues() {
 		f.Add(encodePayload(v))
 	}
-	f.Add(encodePayloadGob(gossipPayload{BcastID: wcDigest(1), Data: []byte("y")}))
+	f.Add(encodePayloadGob(f, gossipPayload{BcastID: wcDigest(1), Data: []byte("y")}))
 	f.Add([]byte{wireEnvMagic})
 	f.Add([]byte{wireEnvMagic, wkGossip, wireEnvV1})
 	f.Add([]byte{wireEnvMagic, wkSnapshot, wireEnvV1, 0xFF, 0xFF, 0xFF, 0xFF})
@@ -340,7 +389,7 @@ func FuzzDecodePayload(f *testing.F) {
 func TestWireEnvelopeStrictlySmallerThanGob(t *testing.T) {
 	for _, v := range fullPayloadValues() {
 		w := len(encodePayload(v))
-		g := len(encodePayloadGob(v))
+		g := len(encodePayloadGob(t, v))
 		if w >= g {
 			t.Errorf("%T: wire %d bytes >= gob %d bytes", v, w, g)
 		}
@@ -369,11 +418,11 @@ func BenchmarkWireVsGob(b *testing.B) {
 	})
 	b.Run("gob", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			enc := encodePayloadGob(p)
-			if _, err := decodePayload(enc); err != nil {
+			enc := encodePayloadGob(b, p)
+			if _, err := decodePayloadGob(enc); err != nil {
 				b.Fatal(err)
 			}
 		}
-		b.ReportMetric(float64(len(encodePayloadGob(p))), "bytes/envelope")
+		b.ReportMetric(float64(len(encodePayloadGob(b, p))), "bytes/envelope")
 	})
 }

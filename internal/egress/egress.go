@@ -1,0 +1,318 @@
+// Package egress is the engine's unified outbound scheduler: one
+// per-destination queue that every sender in the engine feeds — gossip
+// payloads, random-walk forwards, neighbor and composition updates during
+// churn, and application raw-message floods. It generalizes the
+// per-destination gossip batching that used to live inside the gossip hot
+// path (internal/core): any logical message bound for a destination within
+// the destination's flush window is coalesced into one batch carrier frame
+// (internal/group batching), cutting per-link message counts and framing
+// bytes by roughly the number of concurrent sends.
+//
+// The scheduler is deliberately transport- and protocol-agnostic: it queues
+// opaque group.BatchItem values per destination and hands full batches back
+// through Config.Flush. How a batch becomes wire messages (plain group
+// message, batch carrier, node-addressed raw carrier) is the caller's
+// business, as is when FlushAll must run (the engine flushes before every
+// replicated-state replacement so batches leave stamped with their
+// enqueue-time composition).
+//
+// # Adaptive flush window
+//
+// Instead of a fixed flush interval, each destination's window is derived
+// from its observed arrival rate (fast attack, slow decay, on the
+// inter-arrival gap):
+//
+//   - idle (arrivals sparser than MaxWindow/4): the window is zero and items
+//     are transmitted immediately — a single broadcast on a quiet system
+//     pays no batching latency at all;
+//   - bursts: the window widens with the arrival rate, up to MaxWindow —
+//     gap ≤ MaxWindow/16 earns the full window, so batches fill;
+//   - in between, the window is MaxWindow²/(16·gap): wide enough to collect
+//     a few more arrivals, never wider than the configured cap.
+//
+// Queues opened with deferred=true skip the window machinery entirely and
+// wait for the next FlushAll (the synchronous engine's round tick — sends
+// are round-quantized there, so timers would buy nothing); size caps still
+// force early flushes.
+//
+// The scheduler is not goroutine-safe: like the rest of the engine it runs
+// inside one actor's event loop.
+package egress
+
+import (
+	"time"
+
+	"atum/internal/group"
+	"atum/internal/ids"
+)
+
+// Config wires a Scheduler to its owner.
+type Config struct {
+	// MaxBatch caps the items coalesced per destination; the cap'th item
+	// forces a flush. Values <= 1 disable queueing entirely: every item is
+	// transmitted immediately (the legacy unbatched path).
+	MaxBatch int
+	// MaxBytes caps a destination's pending payload bytes (incl. per-item
+	// framing); exceeding it forces a flush.
+	MaxBytes int
+	// MaxWindow caps the adaptive flush window.
+	MaxWindow time.Duration
+	// Now returns the owner's clock.
+	Now func() time.Duration
+	// Arm asks the owner to call OnTimer after the given delay. The
+	// scheduler tracks its earliest pending deadline and re-arms as needed;
+	// spurious OnTimer calls are harmless.
+	Arm func(delay time.Duration)
+	// Flush transmits one destination's batch. node is nonzero for
+	// node-addressed destinations (dst is then the zero Composition); src is
+	// the source composition captured when the batch was opened.
+	Flush func(src, dst group.Composition, node ids.NodeID, items []group.BatchItem)
+}
+
+// Stats counts scheduler activity (tests and experiments).
+type Stats struct {
+	Enqueued  uint64 // items accepted
+	Immediate uint64 // items transmitted without queueing (idle fast path)
+	Flushes   uint64 // queued batches transmitted
+	Items     uint64 // items transmitted through queued batches
+}
+
+// destKey identifies one destination: a vgroup (composition key) or a node.
+type destKey struct {
+	grp  group.Key
+	node ids.NodeID
+}
+
+// pending is one destination's open batch.
+type pending struct {
+	src      group.Composition
+	dst      group.Composition
+	node     ids.NodeID
+	items    []group.BatchItem
+	bytes    int
+	deadline time.Duration // 0: deferred to the next FlushAll
+}
+
+// arrival is one destination's rate estimate; it survives across flushes.
+type arrival struct {
+	seen   bool
+	lastAt time.Duration
+	gap    time.Duration // smoothed inter-arrival gap (fast attack, slow decay)
+}
+
+// maxArrivalEntries bounds the rate-estimate map; overflow evicts stale
+// destinations (sparser than the idle threshold, which re-estimates from
+// scratch anyway).
+const maxArrivalEntries = 1024
+
+// Scheduler is the per-destination egress queue set. Create with New.
+type Scheduler struct {
+	cfg     Config
+	pend    map[destKey]*pending
+	order   []destKey // first-enqueue order
+	arr     map[destKey]*arrival
+	armedAt time.Duration // earliest armed timer deadline; 0 = none
+	stats   Stats
+}
+
+// New creates a scheduler.
+func New(cfg Config) *Scheduler {
+	return &Scheduler{
+		cfg:  cfg,
+		pend: make(map[destKey]*pending),
+		arr:  make(map[destKey]*arrival),
+	}
+}
+
+// EnqueueGroup queues one logical message for every member of dst.
+// deferred batches wait for the next FlushAll instead of an adaptive window
+// (the synchronous engine's round-quantized sends).
+func (s *Scheduler) EnqueueGroup(src, dst group.Composition, it group.BatchItem, deferred bool) {
+	s.enqueue(destKey{grp: dst.Key()}, src, dst, 0, it, deferred)
+}
+
+// EnqueueNode queues one raw item for a single node.
+func (s *Scheduler) EnqueueNode(src group.Composition, to ids.NodeID, it group.BatchItem) {
+	s.enqueue(destKey{node: to}, src, group.Composition{}, to, it, false)
+}
+
+func (s *Scheduler) enqueue(k destKey, src, dst group.Composition, node ids.NodeID, it group.BatchItem, deferred bool) {
+	s.stats.Enqueued++
+	now := s.now()
+	window := s.observe(k, now)
+	q := s.pend[k]
+	if q != nil && (q.src.GroupID != src.GroupID || q.src.Epoch != src.Epoch) {
+		// The source composition changed under the open batch (epoch bump,
+		// group move): it must leave stamped with its enqueue-time source.
+		s.flushKey(k)
+		q = nil
+	}
+	if q == nil {
+		if s.cfg.MaxBatch <= 1 || (!deferred && window <= 0) {
+			// Batching disabled, or the destination is idle: transmit now so
+			// low-rate traffic pays no window latency.
+			s.stats.Immediate++
+			s.cfg.Flush(src, dst, node, []group.BatchItem{it})
+			return
+		}
+		q = &pending{src: src.Clone(), dst: dst.Clone(), node: node}
+		if !deferred {
+			q.deadline = now + window
+			s.arm(q.deadline)
+		}
+		s.pend[k] = q
+		s.order = append(s.order, k)
+	}
+	q.items = append(q.items, it)
+	q.bytes += len(it.Payload) + group.BatchWireOverhead
+	if len(q.items) >= s.cfg.MaxBatch || q.bytes >= s.cfg.MaxBytes {
+		s.flushKey(k)
+	}
+}
+
+// observe updates the destination's arrival estimate and returns the flush
+// window a batch opened now should use (see the package comment).
+func (s *Scheduler) observe(k destKey, now time.Duration) time.Duration {
+	a := s.arr[k]
+	if a == nil {
+		if len(s.arr) >= maxArrivalEntries {
+			s.pruneArrivals(now)
+		}
+		a = &arrival{}
+		s.arr[k] = a
+	}
+	gap := now - a.lastAt
+	if gap <= 0 {
+		gap = time.Nanosecond
+	}
+	first := !a.seen
+	a.seen = true
+	a.lastAt = now
+	if first {
+		return 0 // no rate estimate yet: behave as idle
+	}
+	if gap < a.gap || a.gap == 0 {
+		a.gap = gap // fast attack: react to the first burst arrival
+	} else {
+		a.gap = (3*a.gap + gap) / 4 // slow decay back toward idle
+	}
+	maxW := s.cfg.MaxWindow
+	if maxW <= 0 || a.gap > maxW/4 {
+		return 0 // idle or near-idle: not worth a window for <2 extra items
+	}
+	w := time.Duration(float64(maxW) * float64(maxW) / (16 * float64(a.gap)))
+	if w > maxW {
+		w = maxW
+	}
+	return w
+}
+
+// pruneArrivals evicts rate entries idle past the point of usefulness.
+func (s *Scheduler) pruneArrivals(now time.Duration) {
+	stale := 16 * s.cfg.MaxWindow
+	if stale <= 0 {
+		stale = time.Second
+	}
+	for k, a := range s.arr {
+		if _, open := s.pend[k]; !open && now-a.lastAt > stale {
+			delete(s.arr, k)
+		}
+	}
+	if len(s.arr) >= maxArrivalEntries {
+		// Every entry is hot (or hostile): reset rather than grow unbounded.
+		for k := range s.arr {
+			if _, open := s.pend[k]; !open {
+				delete(s.arr, k)
+			}
+		}
+	}
+}
+
+// FlushAll transmits every pending batch, in first-enqueue order. The engine
+// calls it at round ticks (synchronous mode) and before every replicated-
+// state replacement.
+func (s *Scheduler) FlushAll() {
+	for len(s.order) > 0 {
+		s.flushKey(s.order[0])
+	}
+}
+
+// OnTimer transmits every batch whose window has expired and re-arms for the
+// next pending deadline. The owner routes its flush-timer callback here.
+func (s *Scheduler) OnTimer() {
+	s.armedAt = 0
+	now := s.now()
+	due := make([]destKey, 0, len(s.order))
+	for _, k := range s.order {
+		if q := s.pend[k]; q != nil && q.deadline > 0 && q.deadline <= now {
+			due = append(due, k)
+		}
+	}
+	for _, k := range due {
+		s.flushKey(k)
+	}
+	// Re-arm for the earliest remaining windowed batch (deferred batches wait
+	// for FlushAll).
+	var next time.Duration
+	for _, k := range s.order {
+		if q := s.pend[k]; q != nil && q.deadline > 0 && (next == 0 || q.deadline < next) {
+			next = q.deadline
+		}
+	}
+	if next > 0 {
+		s.arm(next)
+	}
+}
+
+// flushKey transmits one destination's batch.
+func (s *Scheduler) flushKey(k destKey) {
+	q, ok := s.pend[k]
+	if !ok {
+		return
+	}
+	delete(s.pend, k)
+	for i := range s.order {
+		if s.order[i] == k {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.stats.Flushes++
+	s.stats.Items += uint64(len(q.items))
+	s.cfg.Flush(q.src, q.dst, q.node, q.items)
+}
+
+// arm requests a timer for the given deadline unless an earlier one is
+// already armed.
+func (s *Scheduler) arm(deadline time.Duration) {
+	if s.cfg.Arm == nil {
+		return
+	}
+	if s.armedAt != 0 && s.armedAt <= deadline {
+		return
+	}
+	s.armedAt = deadline
+	d := deadline - s.now()
+	if d < 0 {
+		d = 0
+	}
+	s.cfg.Arm(d)
+}
+
+func (s *Scheduler) now() time.Duration {
+	if s.cfg.Now == nil {
+		return 0
+	}
+	return s.cfg.Now()
+}
+
+// Pending reports the open destination batches and the items they hold.
+func (s *Scheduler) Pending() (dests, items int) {
+	for _, q := range s.pend {
+		items += len(q.items)
+	}
+	return len(s.pend), items
+}
+
+// Stats returns a snapshot of the scheduler counters.
+func (s *Scheduler) Stats() Stats { return s.stats }

@@ -1,0 +1,39 @@
+package experiment
+
+import "testing"
+
+// TestEgressReducesLinkMessages pins the PR's acceptance bar at system
+// level: under the churn-storm + 8-publisher + raw-flood scenario, the
+// unified egress scheduler cuts per-link messages by at least 25% against
+// the gossip-only PR-2 baseline, at 100% delivery on stable members.
+func TestEgressReducesLinkMessages(t *testing.T) {
+	base, err := EgressRun(24, 8, 6, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := EgressRun(24, 8, 6, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Delivered < 1 || full.Delivered < 1 {
+		t.Fatalf("delivery not 100%%: baseline %.3f, unified %.3f", base.Delivered, full.Delivered)
+	}
+	if base.LinkMsgsPerBcast <= 0 {
+		t.Fatalf("degenerate baseline: %+v", base)
+	}
+	reduction := 1 - full.LinkMsgsPerBcast/base.LinkMsgsPerBcast
+	if reduction < 0.25 {
+		t.Fatalf("per-link message reduction %.1f%% < 25%% (baseline %.0f, unified %.0f)",
+			100*reduction, base.LinkMsgsPerBcast, full.LinkMsgsPerBcast)
+	}
+	// Total message count (including SMR agreement, untouched by the
+	// scheduler) must drop too — the scheduler must not pay for link
+	// savings with extra control traffic.
+	if full.MsgsPerBcast >= base.MsgsPerBcast {
+		t.Fatalf("total messages did not drop: %.0f -> %.0f", base.MsgsPerBcast, full.MsgsPerBcast)
+	}
+	t.Logf("link msgs/bcast %.0f -> %.0f (%.1f%% reduction), total %.0f -> %.0f, bytes %.0f -> %.0f, delivery %.2f/%.2f",
+		base.LinkMsgsPerBcast, full.LinkMsgsPerBcast, 100*reduction,
+		base.MsgsPerBcast, full.MsgsPerBcast, base.BytesPerBcast, full.BytesPerBcast,
+		base.Delivered, full.Delivered)
+}

@@ -8,12 +8,16 @@ import (
 	"atum/internal/smr"
 )
 
-// WireCodecRun measures dissemination cost on a settled n-node system with
-// the payload envelope pinned to one codec cluster-wide: the legacy gob
-// envelope (gobEnv true) or the deterministic wire codec (false, the
-// default). Everything else — batching, publishers, rounds — matches
-// BatchingRun, so the bytes-per-broadcast delta isolates the envelope.
-func WireCodecRun(n, publishers, rounds int, gobEnv bool, seed int64) (BatchTraffic, error) {
+// WireCodecRun measures dissemination cost on a settled n-node system under
+// the deterministic wire payload envelope. Everything else — batching,
+// publishers, rounds — matches BatchingRun. The legacy gob envelope
+// (Config.GobEnvelope) was removed one release after the wire codec shipped,
+// so this run no longer has an in-process baseline; the historical
+// comparison (gob-envelope ≈ 112 KB vs wire ≈ 63 KB per broadcast, −44%) is
+// recorded in docs/WIRE.md and the PR-2 commit records, and BenchmarkWireVsGob
+// (internal/core) still measures the per-envelope delta against a
+// reference gob implementation kept in the tests.
+func WireCodecRun(n, publishers, rounds int, seed int64) (BatchTraffic, error) {
 	const roundDur = 100 * time.Millisecond
 	cl := newCluster(smr.ModeSync, seed, nil, func(cfg *atum.Config) {
 		cfg.Params = atum.Params{HC: 3, RWL: 4, GMax: 8, GMin: 4}
@@ -21,7 +25,6 @@ func WireCodecRun(n, publishers, rounds int, gobEnv bool, seed int64) (BatchTraf
 		cfg.DisableShuffle = true
 		cfg.HeartbeatEvery = time.Hour // isolate broadcast traffic
 		cfg.EvictAfter = 10 * time.Hour
-		cfg.GobEnvelope = gobEnv
 	})
 	if err := cl.grow(n, time.Minute); err != nil {
 		return BatchTraffic{}, fmt.Errorf("growth to %d nodes failed: %w", n, err)
@@ -72,34 +75,27 @@ func WireCodecRun(n, publishers, rounds int, gobEnv bool, seed int64) (BatchTraf
 	return out, nil
 }
 
-// WireCodec compares dissemination cost under the legacy gob payload
-// envelope against the deterministic wire codec — the PR-over-PR follow-up
-// to the Batching experiment: batching removed the per-broadcast framing
-// multiplicity, the wire codec removes the per-envelope gob type dictionary
-// that then dominated small-message bytes.
+// WireCodec reports dissemination cost under the wire payload envelope — the
+// regression reference for the codec's system-wide byte cost now that the
+// gob envelope is gone (the original side-by-side comparison lives in the
+// PR-2 records: docs/WIRE.md and the commit history).
 func WireCodec(n, publishers, rounds int, seed int64) Table {
 	t := Table{
 		Title:  fmt.Sprintf("Payload envelope: N=%d, %d concurrent publishers, %d rounds (batching on)", n, publishers, rounds),
 		Header: []string{"config", "msgs_per_bcast", "bytes_per_bcast", "delivered"},
 	}
-	for _, gobEnv := range []bool{true, false} {
-		name := "wire-codec"
-		if gobEnv {
-			name = "gob-envelope"
-		}
-		tr, err := WireCodecRun(n, publishers, rounds, gobEnv, seed)
-		if err != nil {
-			t.Remarks = append(t.Remarks, name+": "+err.Error())
-			continue
-		}
-		t.Rows = append(t.Rows, []string{
-			name,
-			fmt.Sprintf("%.0f", tr.MsgsPerBcast),
-			fmt.Sprintf("%.0f", tr.BytesPerBcast),
-			fmt.Sprintf("%.2f", tr.Delivered),
-		})
+	tr, err := WireCodecRun(n, publishers, rounds, seed)
+	if err != nil {
+		t.Remarks = append(t.Remarks, "wire-codec: "+err.Error())
+		return t
 	}
+	t.Rows = append(t.Rows, []string{
+		"wire-codec",
+		fmt.Sprintf("%.0f", tr.MsgsPerBcast),
+		fmt.Sprintf("%.0f", tr.BytesPerBcast),
+		fmt.Sprintf("%.2f", tr.Delivered),
+	})
 	t.Remarks = append(t.Remarks,
-		"the wire envelope drops gob's per-message type dictionary: fewer wire bytes per broadcast, no extra messages, delivery unchanged")
+		"gob-envelope baseline removed this release (historical: ~44% more bytes per broadcast; see docs/WIRE.md)")
 	return t
 }

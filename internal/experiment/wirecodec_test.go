@@ -2,33 +2,22 @@ package experiment
 
 import "testing"
 
-// TestWireCodecReducesBytes pins the tentpole claim at system level: with
-// batching already on, switching the payload envelope from gob to the wire
-// codec strictly reduces wire bytes per broadcast at unchanged message
-// counts and 100% delivery.
-func TestWireCodecReducesBytes(t *testing.T) {
-	gob, err := WireCodecRun(24, 8, 3, true, 1)
+// TestWireCodecRunHealthy keeps the wire-codec system measurement honest now
+// that its in-process gob baseline is gone (the legacy envelope was removed
+// one release after the codec shipped; the historical −44% bytes/broadcast
+// comparison is recorded in docs/WIRE.md): the run must
+// reach 100% delivery and report sane non-zero traffic counters.
+func TestWireCodecRunHealthy(t *testing.T) {
+	wire, err := WireCodecRun(24, 8, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wire, err := WireCodecRun(24, 8, 3, false, 1)
-	if err != nil {
-		t.Fatal(err)
+	if wire.Delivered < 1 {
+		t.Fatalf("delivery not 100%%: %.2f", wire.Delivered)
 	}
-	if gob.Delivered < 1 || wire.Delivered < 1 {
-		t.Fatalf("delivery not 100%%: gob %.2f, wire %.2f", gob.Delivered, wire.Delivered)
+	if wire.Broadcasts == 0 || wire.MsgsPerBcast <= 0 || wire.BytesPerBcast <= 0 {
+		t.Fatalf("degenerate measurement: %+v", wire)
 	}
-	if wire.BytesPerBcast >= gob.BytesPerBcast {
-		t.Fatalf("wire codec did not reduce bytes/broadcast: wire %.0f >= gob %.0f",
-			wire.BytesPerBcast, gob.BytesPerBcast)
-	}
-	// No message-count assertion: the gob run's encoded bytes — and hence
-	// its op digests, derived randomness, and vgroup topology — depend on
-	// which gob streams ran earlier in this test process (see docs/WIRE.md
-	// on gob's encode-history sensitivity; it is one of the reasons the
-	// envelope moved to the wire codec). Bytes-per-broadcast stays strictly
-	// smaller under every observed history; message counts wobble.
-	t.Logf("bytes/bcast: gob %.0f -> wire %.0f (%.1f%% reduction), msgs %.0f, delivery %.2f",
-		gob.BytesPerBcast, wire.BytesPerBcast,
-		100*(1-wire.BytesPerBcast/gob.BytesPerBcast), wire.MsgsPerBcast, wire.Delivered)
+	t.Logf("bytes/bcast %.0f, msgs/bcast %.0f, delivery %.2f",
+		wire.BytesPerBcast, wire.MsgsPerBcast, wire.Delivered)
 }

@@ -125,6 +125,28 @@ func SendBatch(send SendFn, rng *rand.Rand, src Composition, self ids.NodeID, ds
 	}
 }
 
+// SendBatchToNode transmits one batch of logical messages from self to a
+// single node, with every payload carried in full — node-addressed batches
+// (application raw-message floods) are link-authenticated, not majority-
+// matched, so there is no digest optimization to apply.
+func SendBatchToNode(send SendFn, src Composition, self ids.NodeID, to ids.NodeID, kind Kind, batchID crypto.Digest, items []BatchItem) {
+	if len(items) == 0 {
+		return
+	}
+	if len(items) > MaxBatchItems {
+		panic(fmt.Sprintf("group: batch of %d items exceeds limit %d", len(items), MaxBatchItems))
+	}
+	frame := encodeBatchFrame(items, true)
+	send(to, GroupMsg{
+		SrcGroup:      src.GroupID,
+		SrcEpoch:      src.Epoch,
+		Kind:          kind,
+		MsgID:         batchID,
+		PayloadDigest: crypto.Hash(frame),
+		Payload:       frame,
+	})
+}
+
 // UnpackBatch recovers the inner logical messages of a batch carrier. Each
 // returned GroupMsg inherits the carrier's source and destination headers and
 // is ready for Inbox.Observe under the same link-authenticated sender.

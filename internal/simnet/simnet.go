@@ -14,6 +14,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"reflect"
 	"time"
 
 	"atum/internal/actor"
@@ -91,6 +92,28 @@ type Stats struct {
 	Delivered int64 // messages delivered to live nodes
 	Dropped   int64 // lost, partitioned, or addressed to dead nodes
 	BytesSent int64 // sum of wire sizes of sent messages
+	// SentByType counts sent messages by concrete Go type name
+	// (fmt.Sprintf("%T")), so experiments can attribute traffic to protocol
+	// layers — e.g. overlay-link traffic (group.GroupMsg, application raw
+	// types) vs intra-vgroup agreement (core.SMREnvelope).
+	SentByType map[string]int64
+}
+
+// Sub returns the difference s − before, field by field (counter snapshots
+// around a measurement window).
+func (s Stats) Sub(before Stats) Stats {
+	out := s
+	out.Sent -= before.Sent
+	out.Delivered -= before.Delivered
+	out.Dropped -= before.Dropped
+	out.BytesSent -= before.BytesSent
+	out.SentByType = make(map[string]int64, len(s.SentByType))
+	for k, v := range s.SentByType {
+		if d := v - before.SentByType[k]; d != 0 {
+			out.SentByType[k] = d
+		}
+	}
+	return out
 }
 
 // Network is a discrete-event simulated network. Not safe for concurrent
@@ -105,8 +128,23 @@ type Network struct {
 	nodes     map[ids.NodeID]*simNode
 	partition map[ids.NodeID]int // partition index; absent = 0
 	stats     Stats
+	// typeNames caches fmt-style type names per concrete message type:
+	// send runs once per simulated message, and formatting the name each
+	// time would put an allocation on the simulator's hottest path.
+	typeNames map[reflect.Type]string
 
 	timerSeq uint64
+}
+
+// typeName returns the cached %T-style name of msg's concrete type.
+func (n *Network) typeName(msg actor.Message) string {
+	t := reflect.TypeOf(msg)
+	if name, ok := n.typeNames[t]; ok {
+		return name
+	}
+	name := fmt.Sprintf("%T", msg)
+	n.typeNames[t] = name
+	return name
 }
 
 type simNode struct {
@@ -155,14 +193,24 @@ func New(cfg Config) *Network {
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		nodes:     make(map[ids.NodeID]*simNode),
 		partition: make(map[ids.NodeID]int),
+		typeNames: make(map[reflect.Type]string),
+		stats:     Stats{SentByType: make(map[string]int64)},
 	}
 }
 
 // Now returns the current virtual time.
 func (n *Network) Now() time.Duration { return n.now }
 
-// Stats returns a snapshot of the network counters.
-func (n *Network) Stats() Stats { return n.stats }
+// Stats returns a snapshot of the network counters (the per-type map is
+// copied; snapshots stay valid as the simulation advances).
+func (n *Network) Stats() Stats {
+	out := n.stats
+	out.SentByType = make(map[string]int64, len(n.stats.SentByType))
+	for k, v := range n.stats.SentByType {
+		out.SentByType[k] = v
+	}
+	return out
+}
 
 // Add registers a node and schedules its Start at the current time.
 // Adding an ID that is already live panics: it indicates a harness bug.
@@ -284,6 +332,7 @@ func (n *Network) send(from *simNode, to ids.NodeID, msg actor.Message) {
 	n.stats.Sent++
 	size := actor.SizeOf(msg)
 	n.stats.BytesSent += int64(size)
+	n.stats.SentByType[n.typeName(msg)]++
 
 	if n.partition[from.id] != n.partition[to] {
 		n.stats.Dropped++

@@ -7,13 +7,13 @@
 // frame identifying the dialing node, then carries length-prefixed frames.
 // The first body byte of every frame tags its codec — 'W' for the engine's
 // deterministic wire envelope (Options.Codec, normally core.MessageCodec),
-// 'G' for gob. Engine messages ride the wire codec; application raw-message
-// types (and everything when no Codec is set) fall back to gob. One outbound
-// connection per destination address is cached and re-dialed on failure;
-// inbound connections are accepted concurrently. Gob message types are
-// registered by core.RegisterMessages (the Transport's owner must call it —
-// atum.RegisterWireMessages — before traffic flows; applications register
-// their own raw-message types on top).
+// 'G' for gob. Engine messages and application raw-message types registered
+// in the wire extension range ride the wire codec; unregistered raw types
+// fall back to gob and must be gob.Register'ed by the application. The
+// Codec is effectively required for Atum deployments — engine types are
+// not gob-registered (see Options.Codec). One outbound connection per
+// destination address is cached and re-dialed on failure; inbound
+// connections are accepted concurrently.
 //
 // Addresses come from the actor.AddrBook flow: the engine reports every
 // (node ID, address) pair it learns from compositions and join handshakes,
@@ -79,9 +79,15 @@ type Options struct {
 	// when a destination's queue is full, messages to it are dropped —
 	// the transport is allowed to be lossy, protocols retry by timeout.
 	QueueLen int
-	// Codec, when set, frames engine messages through the deterministic
-	// wire envelope instead of gob (pass atum.WireMessageCodec(), i.e.
-	// core.MessageCodec). Inbound wire frames are rejected when nil.
+	// Codec frames engine messages (and registered application raw types)
+	// through the deterministic wire envelope — pass atum.WireMessageCodec(),
+	// i.e. core.MessageCodec. It is effectively REQUIRED for Atum traffic:
+	// engine message types are no longer gob-registered (the legacy envelope
+	// was removed, docs/WIRE.md), so with a nil Codec only types the caller
+	// gob.Register'ed itself can flow, inbound wire frames are rejected, and
+	// engine messages fail frame encoding (logged per connection). Nil is
+	// only sensible for transports carrying purely application-defined,
+	// gob-registered message sets.
 	Codec Codec
 	// Logf, when set, receives transport debug logs.
 	Logf func(format string, args ...any)
@@ -163,6 +169,11 @@ func New(self ids.NodeID, d Deliverer, opts Options) (*Transport, error) {
 		addrs:     make(map[ids.NodeID]string),
 		peers:     make(map[string]*peer),
 		inbound:   make(map[net.Conn]bool),
+	}
+	if opts.Codec == nil {
+		// Engine message types are not gob-registered (docs/WIRE.md): a
+		// codec-less transport can only carry caller-registered gob types.
+		t.logf("tcpnet: no Codec configured — engine messages cannot be framed (pass atum.WireMessageCodec())")
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()

@@ -165,15 +165,18 @@ func (r *RealtimeRuntime) invoke(n *Node, fn func() error) error {
 	return err
 }
 
-// RegisterWireMessages registers every engine message type with
-// encoding/gob — the byte-level transports' fallback envelope for
-// application raw-message types (and for engine traffic when no wire codec
-// is configured). Call it before traffic flows; applications registering
-// their own raw-message types should do so after calling this.
+// RegisterWireMessages is a no-op kept for API compatibility: engine
+// messages ride the deterministic wire codec on every transport, so there
+// are no engine gob types left to register (the legacy envelope was
+// removed — docs/WIRE.md migration notes). Applications whose raw-message
+// types are NOT registered in the wire extension range
+// (RegisterRawMessage) still gob.Register those types themselves for the
+// TCP transport's fallback frames.
 func RegisterWireMessages() { core.RegisterMessages() }
 
 // WireMessageCodec returns the engine's deterministic wire-envelope codec
 // for byte-level transports: pass it as tcpnet.Options.Codec so engine
-// messages skip the per-frame gob type dictionary (docs/WIRE.md). Raw
-// application messages still need RegisterWireMessages.
+// messages — and application raw messages registered with
+// RegisterRawMessage — skip the per-frame gob type dictionary
+// (docs/WIRE.md).
 func WireMessageCodec() tcpnet.Codec { return core.MessageCodec{} }
