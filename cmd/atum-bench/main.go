@@ -8,7 +8,7 @@
 //	atum-bench -exp fig4 -quick         # smoke scale
 //
 // Experiments: table1 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-// batching wirecodec egress all.
+// batching wirecodec egress frames all.
 // Output: paper-style rows on stdout; EXPERIMENTS.md records a reference run.
 package main
 
@@ -28,7 +28,7 @@ func main() {
 
 func run() int {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1|robustness|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|batching|wirecodec|egress|all")
+		exp   = flag.String("exp", "all", "experiment: table1|robustness|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|batching|wirecodec|egress|frames|all")
 		n     = flag.Int("n", 0, "system size override")
 		byz   = flag.Int("byz", 0, "byzantine node count (fig8)")
 		seed  = flag.Int64("seed", 1, "simulation seed")
@@ -130,6 +130,13 @@ func run() int {
 				rounds = 6
 			}
 			fmt.Print(experiment.Egress(size, 8, rounds, *seed))
+		case "frames":
+			size := pick(*n, 60, *quick, 24)
+			rounds := 8
+			if *quick {
+				rounds = 6
+			}
+			fmt.Print(experiment.Frames(size, 8, rounds, *seed))
 		default:
 			return false
 		}
@@ -139,7 +146,7 @@ func run() int {
 
 	if *exp == "all" {
 		for _, name := range []string{"table1", "robustness", "fig4", "fig6", "fig7",
-			"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "batching", "wirecodec", "egress"} {
+			"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "batching", "wirecodec", "egress", "frames"} {
 			runOne(name)
 		}
 		return 0

@@ -1,0 +1,98 @@
+// Command benchguard is the CI allocation-regression guard: it reads `go
+// test -bench -benchmem` output on stdin, matches benchmark names against a
+// checked-in baseline, and fails when any benchmark's allocs/op exceeds its
+// budget — a benchstat-style gate cheap enough to run on every push.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BatchEncodeDecode -benchmem ./internal/group | \
+//	    go run ./cmd/benchguard -baseline bench/batch_allocs_baseline.json
+//
+// The baseline maps a benchmark-name substring to the maximum allowed
+// allocs/op (budgets carry headroom over measured values; tighten them when
+// the measured numbers drop for good). Every baseline entry must match at
+// least one benchmark line, so a renamed benchmark cannot silently skip its
+// gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one -benchmem result line, e.g.
+// BenchmarkFoo/v2/decode-8  500  33071 ns/op  48104 B/op  11 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+.*?\s(\d+)\s+allocs/op`)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	baselinePath := flag.String("baseline", "", "JSON file: benchmark-name substring -> max allocs/op")
+	flag.Parse()
+	if *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline is required")
+		return 2
+	}
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		return 2
+	}
+	var budgets map[string]float64
+	if err := json.Unmarshal(raw, &budgets); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: parse %s: %v\n", *baselinePath, err)
+		return 2
+	}
+
+	matched := make(map[string]bool)
+	fail := false
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass output through for the CI log
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		allocs, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		for sub, budget := range budgets {
+			if !strings.Contains(name, sub) {
+				continue
+			}
+			matched[sub] = true
+			if allocs > budget {
+				fmt.Fprintf(os.Stderr, "benchguard: %s: %.0f allocs/op exceeds budget %.0f\n",
+					name, allocs, budget)
+				fail = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: read stdin: %v\n", err)
+		return 2
+	}
+	for sub := range budgets {
+		if !matched[sub] {
+			fmt.Fprintf(os.Stderr, "benchguard: baseline entry %q matched no benchmark\n", sub)
+			fail = true
+		}
+	}
+	if fail {
+		return 1
+	}
+	fmt.Println("benchguard: all benchmarks within allocation budgets")
+	return 0
+}

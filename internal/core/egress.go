@@ -108,7 +108,8 @@ func (n *Node) egressFlush(src, dst group.Composition, node ids.NodeID, items []
 		}
 		n.egressSeq++
 		group.SendBatchToNode(n.sendNow, src, n.cfg.Identity.ID, node,
-			kindBatch, batchMsgID(src, 0, n.cfg.Identity.ID, n.egressSeq), items)
+			kindBatch, batchMsgID(src, 0, n.cfg.Identity.ID, n.egressSeq), items,
+			n.cfg.LegacyBatchFrames)
 		return
 	}
 	if len(items) == 1 {
@@ -121,7 +122,8 @@ func (n *Node) egressFlush(src, dst group.Composition, node ids.NodeID, items []
 	}
 	n.egressSeq++
 	group.SendBatch(n.sendGroupQuantized, n.env.Rand(), src, n.cfg.Identity.ID, dst,
-		kindBatch, batchMsgID(src, dst.GroupID, n.cfg.Identity.ID, n.egressSeq), items)
+		kindBatch, batchMsgID(src, dst.GroupID, n.cfg.Identity.ID, n.egressSeq), items,
+		n.cfg.LegacyBatchFrames)
 }
 
 // batchMsgID identifies one batch carrier. It is unique per sender, not

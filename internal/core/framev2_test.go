@@ -1,0 +1,135 @@
+package core
+
+// Mixed-cluster interop for the batch-frame v2 migration: nodes emitting the
+// legacy v1 frames and nodes emitting v2 frames must interoperate in both
+// directions with full delivery, because receivers auto-detect the version
+// from the first frame byte. This mirrors what TestMixedCodecClusterInterop
+// pinned for the gob→wire envelope migration.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"atum/internal/ids"
+	"atum/internal/smr"
+)
+
+// TestMixedBatchFrameClusterInterop runs a system where half the nodes emit
+// v1 batch carriers and half emit v2, with concurrent broadcast bursts from
+// publishers on both sides (bursts make batches actually form). Every
+// member must deliver every payload exactly once, whichever frame version
+// carried it.
+func TestMixedBatchFrameClusterInterop(t *testing.T) {
+	h := newHarness(t, smr.ModeSync, 23, func(cfg *Config) {
+		cfg.DisableShuffle = true // freeze membership during dissemination
+		cfg.EvictAfter = time.Hour
+		if cfg.Identity.ID%2 == 0 {
+			cfg.LegacyBatchFrames = true
+		}
+	})
+	nodes := h.bootstrapSystem(smr.ModeSync, 12, 90*time.Second)
+	h.net.Run(h.net.Now() + 10*time.Second)
+	if len(h.groupsOf()) < 2 {
+		t.Fatalf("expected multiple vgroups, got %d", len(h.groupsOf()))
+	}
+
+	// One publisher per frame version (node IDs are 1-based and dense, so
+	// nodes[0] emits v2 and nodes[1] emits v1).
+	v2pub, v1pub := nodes[0], nodes[1]
+	if v2pub.cfg.LegacyBatchFrames || !v1pub.cfg.LegacyBatchFrames {
+		t.Fatal("publisher version assignment is off")
+	}
+	var payloads []string
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 4; i++ {
+			for _, pub := range []*Node{v2pub, v1pub} {
+				tag := "v2"
+				if pub.cfg.LegacyBatchFrames {
+					tag = "v1"
+				}
+				p := fmt.Sprintf("mixed-%s-%d-%d", tag, round, i)
+				if err := pub.Broadcast([]byte(p)); err != nil {
+					t.Fatalf("broadcast %s: %v", p, err)
+				}
+				payloads = append(payloads, p)
+			}
+		}
+		h.net.Run(h.net.Now() + 200*time.Millisecond)
+	}
+	h.net.Run(h.net.Now() + 30*time.Second)
+
+	members := 0
+	for _, n := range nodes {
+		if !n.IsMember() {
+			continue
+		}
+		members++
+		counts := make(map[string]int)
+		for _, m := range h.delivered[n.cfg.Identity.ID] {
+			counts[m]++
+		}
+		for _, p := range payloads {
+			if counts[p] != 1 {
+				t.Errorf("node %v (legacy=%v) delivered %q %d times, want exactly 1",
+					n.cfg.Identity.ID, n.cfg.LegacyBatchFrames, p, counts[p])
+			}
+		}
+	}
+	if members < len(nodes)-1 {
+		t.Fatalf("only %d/%d nodes stayed members", members, len(nodes))
+	}
+}
+
+// TestMixedBatchFrameRawInterop pins the node-addressed carrier direction:
+// raw-message floods between a v1-emitting and a v2-emitting node arrive
+// intact both ways, including the DerivedID compact form (v2 omits raw
+// MsgIDs on the wire and the receiver re-derives them from the payload).
+func TestMixedBatchFrameRawInterop(t *testing.T) {
+	registerEgressTestMsg()
+	got := make(map[ids.NodeID][]egressTestMsg)
+	h := newHarness(t, smr.ModeSync, 29, func(cfg *Config) {
+		cfg.DisableShuffle = true
+		cfg.EvictAfter = time.Hour
+		if cfg.Identity.ID%2 == 0 {
+			cfg.LegacyBatchFrames = true
+		}
+		id := cfg.Identity.ID
+		cfg.OnRawMessage = func(from ids.NodeID, msg any) {
+			if m, ok := msg.(egressTestMsg); ok {
+				got[id] = append(got[id], m)
+			}
+		}
+	})
+	nodes := h.bootstrapSystem(smr.ModeSync, 4, 60*time.Second)
+	h.net.Run(h.net.Now() + 5*time.Second)
+
+	v2n, v1n := nodes[0], nodes[1]
+	const chunks = 16
+	for i := 0; i < chunks; i++ {
+		// Burst both directions so the raw items ride batch carriers.
+		v2n.SendRaw(v1n.cfg.Identity.ID, egressTestMsg{Seq: uint64(i), Body: []byte(fmt.Sprintf("v2->v1-%02d", i))})
+		v1n.SendRaw(v2n.cfg.Identity.ID, egressTestMsg{Seq: uint64(i), Body: []byte(fmt.Sprintf("v1->v2-%02d", i))})
+	}
+	h.net.Run(h.net.Now() + 2*time.Second)
+
+	for _, dir := range []struct {
+		to   *Node
+		want string
+	}{{v1n, "v2->v1"}, {v2n, "v1->v2"}} {
+		msgs := got[dir.to.cfg.Identity.ID]
+		if len(msgs) != chunks {
+			t.Fatalf("%s: delivered %d raw messages, want %d", dir.want, len(msgs), chunks)
+		}
+		seen := make(map[uint64]bool)
+		for _, m := range msgs {
+			if string(m.Body) != fmt.Sprintf("%s-%02d", dir.want, m.Seq) {
+				t.Errorf("%s: corrupted chunk %d: %q", dir.want, m.Seq, m.Body)
+			}
+			seen[m.Seq] = true
+		}
+		if len(seen) != chunks {
+			t.Errorf("%s: %d distinct chunks, want %d", dir.want, len(seen), chunks)
+		}
+	}
+}

@@ -347,8 +347,10 @@ func (n *Node) SendRaw(to ids.NodeID, msg any) {
 			if n.st != nil {
 				src = n.st.comp
 			}
+			// MsgID is the payload digest by construction, so the v2 batch
+			// frame omits it (DerivedID) and the receiver re-derives it.
 			n.egress.EnqueueNode(src, to,
-				group.BatchItem{Kind: kindRaw, MsgID: crypto.Hash(payload), Payload: payload})
+				group.BatchItem{Kind: kindRaw, MsgID: crypto.Hash(payload), Payload: payload, DerivedID: true})
 			return
 		}
 	}
@@ -364,6 +366,12 @@ func (n *Node) SetBehavior(b Behavior) { n.cfg.Behavior = b }
 // one identical growth history (toggling config before growth would fork
 // the RNG consumption and hence the overlay topology under comparison).
 func (n *Node) SetEgressGossipOnly(v bool) { n.cfg.EgressGossipOnly = v }
+
+// SetLegacyBatchFrames toggles the v1 batch-frame writer at runtime. The
+// frames experiment uses it for the same reason as SetEgressGossipOnly: the
+// v1 and v2 measurements must share one identical growth history, so the
+// configuration diverges only after the overlay is built.
+func (n *Node) SetLegacyBatchFrames(v bool) { n.cfg.LegacyBatchFrames = v }
 
 // Now returns the node's clock (virtual in simulation).
 func (n *Node) Now() time.Duration {

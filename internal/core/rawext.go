@@ -39,7 +39,9 @@ var rawReg struct {
 // extension tag (RawTagMin..0xFF). prototype fixes the concrete type;
 // marshal writes a value of that type, unmarshal reads one back (returning
 // the decoded value; decode errors latch in the Decoder and are checked by
-// the envelope layer). Registration is process-wide and append-only:
+// the envelope layer). unmarshal must copy any bytes it keeps — use the
+// Decoder's copying readers (VarBytes, String), not VarBytesView: transports
+// may decode frames out of reusable buffers. Registration is process-wide and append-only:
 // re-registering a tag with a different type, or a type under a different
 // tag, panics — tags are a wire-compatibility contract, not a preference.
 // Registering the same (tag, type) pair again is a no-op, so package-level
@@ -79,12 +81,13 @@ func encodeRawWire(v any) ([]byte, bool) {
 	if !ok {
 		return nil, false
 	}
-	var e wire.Encoder
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	e.Byte(wireEnvMagic)
 	e.Byte(c.tag)
 	e.Byte(wireEnvV1)
-	c.marshal(v, &e)
-	return e.Bytes(), true
+	c.marshal(v, e)
+	return e.Detach(), true
 }
 
 // decodeRawWire reverses encodeRawWire for one extension tag; the envelope

@@ -95,14 +95,18 @@ const (
 
 // encodeWire returns the tagged, versioned wire frame for v, or false when
 // the type is not wire-codable (byte-level transports then fall back to gob:
-// applications may send arbitrary raw-message types).
+// applications may send arbitrary raw-message types). Frames build in pooled
+// scratch and detach as one exact-size allocation — envelope encoding is the
+// per-payload hot path, and throwaway encoders paid append-growth garbage
+// on every message.
 func encodeWire(v any) ([]byte, bool) {
-	var e wire.Encoder
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
 	hdr := func(kind byte) *wire.Encoder {
 		e.Byte(wireEnvMagic)
 		e.Byte(kind)
 		e.Byte(wireEnvV1)
-		return &e
+		return e
 	}
 	switch p := v.(type) {
 	case gossipPayload:
@@ -209,7 +213,7 @@ func encodeWire(v any) ([]byte, bool) {
 		// range (rawext.go) are wire-codable too.
 		return encodeRawWire(v)
 	}
-	return e.Bytes(), true
+	return e.Detach(), true
 }
 
 // maxSMRNesting bounds SMREnvelope nesting (the engine nests exactly once;

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"testing"
 
+	"atum/internal/actor"
 	"atum/internal/crypto"
 	"atum/internal/group"
 	"atum/internal/ids"
@@ -371,6 +372,23 @@ func FuzzDecodePayload(f *testing.F) {
 	f.Add([]byte{wireEnvMagic})
 	f.Add([]byte{wireEnvMagic, wkGossip, wireEnvV1})
 	f.Add([]byte{wireEnvMagic, wkSnapshot, wireEnvV1, 0xFF, 0xFF, 0xFF, 0xFF})
+	// GroupMsg envelopes whose payload is a batch-carrier frame, one per
+	// frame version: the envelope decoder treats the frame as opaque bytes,
+	// but seeding it steers the fuzzer toward the carrier-in-envelope shape
+	// receivers actually see.
+	for _, legacy := range []bool{false, true} {
+		var carrier group.GroupMsg
+		group.SendBatchToNode(func(_ ids.NodeID, m actor.Message) {
+			carrier = m.(group.GroupMsg)
+		}, group.Composition{GroupID: 3, Epoch: 1, Members: []ids.Identity{{ID: 1}}},
+			1, 2, kindBatch, wcDigest(7),
+			[]group.BatchItem{
+				{Kind: kindGossip, MsgID: wcDigest(8), Payload: []byte("seed-one")},
+				{Kind: kindGossip, MsgID: wcDigest(9), Payload: []byte("seed-two")},
+				{Kind: kindRaw, MsgID: crypto.Hash([]byte("seed-raw")), Payload: []byte("seed-raw"), DerivedID: true},
+			}, legacy)
+		f.Add(encodePayload(carrier))
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		v, err := decodePayload(data)
 		if err == nil && v != nil {

@@ -66,6 +66,12 @@ type Config struct {
 	// Flush transmits one destination's batch. node is nonzero for
 	// node-addressed destinations (dst is then the zero Composition); src is
 	// the source composition captured when the batch was opened.
+	//
+	// Ownership: items is scheduler-owned scratch, valid only for the
+	// duration of the call — the scheduler recycles the backing array for
+	// the destination's next batch. Implementations that keep items past the
+	// call (tests, recorders) must copy the slice; the item *payloads* are
+	// caller-owned as usual and may be retained freely.
 	Flush func(src, dst group.Composition, node ids.NodeID, items []group.BatchItem)
 }
 
@@ -113,7 +119,19 @@ type Scheduler struct {
 	arr     map[destKey]*arrival
 	armedAt time.Duration // earliest armed timer deadline; 0 = none
 	stats   Stats
+	// free recycles pending structs (and, through them, their item slices):
+	// carrier construction reuses per-queue scratch instead of allocating a
+	// fresh batch per flush. Bounded; see maxFreePending.
+	free []*pending
+	// single is the one-element scratch slice the immediate fast path hands
+	// to Flush (the idle case is per-item hot; Flush does not retain items).
+	single [1]group.BatchItem
 }
+
+// maxFreePending bounds the recycled-batch freelist: enough for every
+// neighbor destination of a busy node, without letting a churn spike pin
+// arbitrary memory.
+const maxFreePending = 64
 
 // New creates a scheduler.
 func New(cfg Config) *Scheduler {
@@ -150,12 +168,15 @@ func (s *Scheduler) enqueue(k destKey, src, dst group.Composition, node ids.Node
 	if q == nil {
 		if s.cfg.MaxBatch <= 1 || (!deferred && window <= 0) {
 			// Batching disabled, or the destination is idle: transmit now so
-			// low-rate traffic pays no window latency.
+			// low-rate traffic pays no window latency. The scratch slice is
+			// reused per call — Flush must not retain it (see Config.Flush).
 			s.stats.Immediate++
-			s.cfg.Flush(src, dst, node, []group.BatchItem{it})
+			s.single[0] = it
+			s.cfg.Flush(src, dst, node, s.single[:])
+			s.single[0] = group.BatchItem{}
 			return
 		}
-		q = &pending{src: src.Clone(), dst: dst.Clone(), node: node}
+		q = s.newPending(src, dst, node)
 		if !deferred {
 			q.deadline = now + window
 			s.arm(q.deadline)
@@ -280,6 +301,32 @@ func (s *Scheduler) flushKey(k destKey) {
 	s.stats.Flushes++
 	s.stats.Items += uint64(len(q.items))
 	s.cfg.Flush(q.src, q.dst, q.node, q.items)
+	s.recycle(q)
+}
+
+// newPending opens a destination batch, reusing a recycled struct (and its
+// item slice's backing array) when one is free.
+func (s *Scheduler) newPending(src, dst group.Composition, node ids.NodeID) *pending {
+	if n := len(s.free); n > 0 {
+		q := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		q.src, q.dst, q.node, q.bytes, q.deadline = src.Clone(), dst.Clone(), node, 0, 0
+		return q
+	}
+	return &pending{src: src.Clone(), dst: dst.Clone(), node: node}
+}
+
+// recycle returns a flushed batch to the freelist. Item entries are cleared
+// so the recycled array does not pin payload buffers between batches.
+func (s *Scheduler) recycle(q *pending) {
+	if len(s.free) >= maxFreePending {
+		return
+	}
+	clear(q.items)
+	q.items = q.items[:0]
+	q.src, q.dst = group.Composition{}, group.Composition{}
+	s.free = append(s.free, q)
 }
 
 // arm requests a timer for the given deadline unless an earlier one is

@@ -82,6 +82,21 @@ func linkMsgs(d simnet.Stats) int64 {
 // the first broadcast and still members after the drain); churners join and
 // leave mid-dissemination by design.
 func EgressRun(n, publishers, rounds int, gossipOnly bool, seed int64) (EgressTraffic, error) {
+	return egressScenario(n, publishers, rounds, gossipOnly, false, seed)
+}
+
+// FramesRun measures the same scenario with the unified scheduler on,
+// toggling only the batch-frame version (Node.SetLegacyBatchFrames): the
+// v1-vs-v2 wire-bytes comparison behind `atum-bench -exp frames`.
+func FramesRun(n, publishers, rounds int, legacyFrames bool, seed int64) (EgressTraffic, error) {
+	return egressScenario(n, publishers, rounds, false, legacyFrames, seed)
+}
+
+// egressScenario drives the churn-storm + multi-publisher + raw-flood
+// scenario under one (gossipOnly, legacyFrames) configuration. Both toggles
+// flip AFTER growth so every configuration measures the same overlay
+// topology.
+func egressScenario(n, publishers, rounds int, gossipOnly, legacyFrames bool, seed int64) (EgressTraffic, error) {
 	const (
 		// chunksPerRound models AStream tier-2 data pushes. Tier-2 is a
 		// flood: EVERY node re-pushes each chunk to its vgroup and neighbor
@@ -106,6 +121,7 @@ func EgressRun(n, publishers, rounds int, gossipOnly bool, seed int64) (EgressTr
 	// Identical growth history for every configuration; diverge only now.
 	for _, node := range cl.nodes {
 		node.Inner().SetEgressGossipOnly(gossipOnly)
+		node.Inner().SetLegacyBatchFrames(legacyFrames)
 	}
 
 	var pubs, stable []*atum.Node
@@ -146,6 +162,7 @@ func EgressRun(n, publishers, rounds int, gossipOnly bool, seed int64) (EgressTr
 		}
 		fresh := cl.addNode(atum.BehaviorCorrect)
 		fresh.Inner().SetEgressGossipOnly(gossipOnly)
+		fresh.Inner().SetLegacyBatchFrames(legacyFrames)
 		_ = fresh.Join(contact)
 		for i, p := range pubs {
 			payload := fmt.Sprintf("egress-%d-%d-%s", r, i, randTextSeeded(seed, 40))

@@ -1,0 +1,62 @@
+package experiment
+
+import "testing"
+
+// TestFrameV2ReducesBytes pins the PR's acceptance bar at system level:
+// under the egress scenario, v2 batch frames cut wire bytes per broadcast by
+// at least 15% against the v1 frames, at 100% delivery on stable members.
+// (The N=60 paper-scale run lives in `atum-bench -exp frames`; this test
+// uses the same smoke scale as the egress acceptance test.)
+func TestFrameV2ReducesBytes(t *testing.T) {
+	v1, err := FramesRun(24, 8, 6, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := FramesRun(24, 8, 6, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Delivered < 1 || v2.Delivered < 1 {
+		t.Fatalf("delivery not 100%%: v1 %.3f, v2 %.3f", v1.Delivered, v2.Delivered)
+	}
+	if v1.BytesPerBcast <= 0 {
+		t.Fatalf("degenerate v1 run: %+v", v1)
+	}
+	reduction := 1 - v2.BytesPerBcast/v1.BytesPerBcast
+	if reduction < 0.15 {
+		t.Fatalf("bytes/broadcast reduction %.1f%% < 15%% (v1 %.0f, v2 %.0f)",
+			100*reduction, v1.BytesPerBcast, v2.BytesPerBcast)
+	}
+	// Same logical batches either way: frame version must not change how
+	// many messages cross links.
+	if v2.LinkMsgsPerBcast > v1.LinkMsgsPerBcast*1.01 {
+		t.Fatalf("v2 frames changed link message counts: %.0f -> %.0f",
+			v1.LinkMsgsPerBcast, v2.LinkMsgsPerBcast)
+	}
+	t.Logf("bytes/bcast %.0f -> %.0f (%.1f%% reduction), link msgs %.0f/%.0f, delivery %.2f/%.2f",
+		v1.BytesPerBcast, v2.BytesPerBcast, 100*reduction,
+		v1.LinkMsgsPerBcast, v2.LinkMsgsPerBcast, v1.Delivered, v2.Delivered)
+}
+
+// TestEgressBytesAtOrBelowGossipOnlyBaseline pins the PR-3 regression fix:
+// with v2 frames, the unified egress scheduler's bytes per broadcast must
+// sit at or below the PR-2 gossip-only baseline it regressed against.
+func TestEgressBytesAtOrBelowGossipOnlyBaseline(t *testing.T) {
+	base, err := EgressRun(24, 8, 6, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := EgressRun(24, 8, 6, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Delivered < 1 || full.Delivered < 1 {
+		t.Fatalf("delivery not 100%%: baseline %.3f, unified %.3f", base.Delivered, full.Delivered)
+	}
+	if full.BytesPerBcast > base.BytesPerBcast {
+		t.Fatalf("unified egress bytes/broadcast %.0f above the gossip-only baseline %.0f",
+			full.BytesPerBcast, base.BytesPerBcast)
+	}
+	t.Logf("bytes/bcast: gossip-only %.0f, unified %.0f (%.1f%% below)",
+		base.BytesPerBcast, full.BytesPerBcast, 100*(1-full.BytesPerBcast/base.BytesPerBcast))
+}

@@ -132,9 +132,19 @@ type Network struct {
 	// send runs once per simulated message, and formatting the name each
 	// time would put an allocation on the simulator's hottest path.
 	typeNames map[reflect.Type]string
+	// eventFree recycles event structs between pops and pushes: every
+	// simulated message costs several scheduler events, and the simulator is
+	// single-threaded, so a plain bounded freelist beats allocating (or
+	// sync.Pool-ing) each one. The closures an event carries still allocate;
+	// only the struct itself is reused.
+	eventFree []*event
 
 	timerSeq uint64
 }
+
+// maxEventFree bounds the event freelist (structs, not payloads; 4096 covers
+// any realistic in-flight burst without pinning memory after one).
+const maxEventFree = 4096
 
 // typeName returns the cached %T-style name of msg's concrete type.
 func (n *Network) typeName(msg actor.Message) string {
@@ -286,7 +296,16 @@ func (n *Network) Schedule(at time.Duration, fn func()) {
 
 func (n *Network) schedule(after time.Duration, fn func()) {
 	n.seq++
-	heap.Push(&n.queue, &event{at: n.now + after, seq: n.seq, fn: fn})
+	var ev *event
+	if k := len(n.eventFree); k > 0 {
+		ev = n.eventFree[k-1]
+		n.eventFree[k-1] = nil
+		n.eventFree = n.eventFree[:k-1]
+	} else {
+		ev = new(event)
+	}
+	ev.at, ev.seq, ev.fn = n.now+after, n.seq, fn
+	heap.Push(&n.queue, ev)
 }
 
 // Step processes the next event, returning false when the queue is empty.
@@ -298,7 +317,14 @@ func (n *Network) Step() bool {
 	if ev.at > n.now {
 		n.now = ev.at
 	}
-	ev.fn()
+	fn := ev.fn
+	// Recycle before running fn: the callback may schedule (and thus reuse)
+	// freely, the popped event is already off the heap.
+	ev.fn = nil
+	if len(n.eventFree) < maxEventFree {
+		n.eventFree = append(n.eventFree, ev)
+	}
+	fn()
 	return true
 }
 

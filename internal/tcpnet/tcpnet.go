@@ -515,10 +515,33 @@ type frameReader struct {
 	r     io.Reader
 	max   int
 	codec Codec
+	// body is the reusable frame buffer: both decode paths copy everything
+	// they keep (gob materializes fresh values; the wire codec's field
+	// decoders copy VarBytes), so one grow-only buffer per connection
+	// replaces an allocation per frame. maxPooledBody bounds what one large
+	// frame can pin for the connection's lifetime.
+	body []byte
 }
+
+// maxPooledBody caps the frame buffer capacity a reader retains across
+// frames; larger frames fall back to a one-off allocation.
+const maxPooledBody = 1 << 20
 
 func newFrameReader(r io.Reader, max int, codec Codec) *frameReader {
 	return &frameReader{r: r, max: max, codec: codec}
+}
+
+// buffer returns a length-n read buffer, reusing the retained one when it
+// fits.
+func (fr *frameReader) buffer(n int) []byte {
+	if n <= cap(fr.body) {
+		return fr.body[:n]
+	}
+	b := make([]byte, n)
+	if n <= maxPooledBody {
+		fr.body = b
+	}
+	return b
 }
 
 func (fr *frameReader) next(out any) error {
@@ -530,7 +553,7 @@ func (fr *frameReader) next(out any) error {
 	if n <= 0 || n > fr.max {
 		return fmt.Errorf("frame size %d out of range", n)
 	}
-	body := make([]byte, n)
+	body := fr.buffer(n)
 	if _, err := io.ReadFull(fr.r, body); err != nil {
 		return err
 	}
@@ -552,7 +575,9 @@ func (fr *frameReader) next(out any) error {
 		d := wire.NewDecoder(body[1:])
 		env.From = ids.NodeID(d.Uint64())
 		env.To = ids.NodeID(d.Uint64())
-		mb := d.VarBytes()
+		// A view, not a copy: DecodeMessage's field decoders copy what they
+		// keep, so nothing aliases the reusable body buffer afterwards.
+		mb := d.VarBytesView()
 		if err := d.Finish(); err != nil {
 			return fmt.Errorf("decode wire frame: %w", err)
 		}

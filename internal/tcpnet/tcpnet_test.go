@@ -3,6 +3,7 @@ package tcpnet
 import (
 	"bytes"
 	"encoding/gob"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -357,4 +358,37 @@ func waitStat(t *testing.T, cond func() bool) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatal("stat condition not reached")
+}
+
+// TestFrameReaderReusesBufferSafely pins the reusable-body contract: many
+// frames decoded back to back through one reader must come out intact even
+// though they all pass through the same buffer — every decode path copies
+// what it keeps, so an earlier message must not be corrupted when a later
+// frame overwrites the buffer.
+func TestFrameReaderReusesBufferSafely(t *testing.T) {
+	var buf bytes.Buffer
+	w := newFrameWriter(&buf)
+	const frames = 32
+	for i := 0; i < frames; i++ {
+		env := Envelope{From: ids.NodeID(i + 1), To: 99,
+			Msg: wireMsg{Seq: i, Body: strings.Repeat(string(rune('a'+i%26)), 64)}}
+		if err := w.writeEnvelope(env, stubCodec{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := newFrameReader(&buf, 1<<20, stubCodec{})
+	var got []Envelope
+	for i := 0; i < frames; i++ {
+		var env Envelope
+		if err := r.next(&env); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got = append(got, env)
+	}
+	for i, env := range got {
+		want := wireMsg{Seq: i, Body: strings.Repeat(string(rune('a'+i%26)), 64)}
+		if env.From != ids.NodeID(i+1) || env.Msg != want {
+			t.Fatalf("frame %d corrupted by buffer reuse: %+v", i, env)
+		}
+	}
 }

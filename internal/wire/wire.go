@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrShortBuffer is returned by Decoder methods when the input is exhausted.
@@ -56,6 +57,47 @@ type Encoder struct {
 
 // Bytes returns the encoded bytes accumulated so far.
 func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Detach returns an exact-size copy of the accumulated bytes. Unlike Bytes,
+// the result does not alias the encoder's buffer, so the encoder can be
+// Reset (or returned to the pool) while the copy lives on. Pooled encode
+// paths use it to pay exactly one right-sized allocation per frame instead
+// of the append-doubling garbage of a throwaway encoder.
+func (e *Encoder) Detach() []byte {
+	out := make([]byte, len(e.buf))
+	copy(out, e.buf)
+	return out
+}
+
+// encoderPool recycles Encoders (and, more importantly, their grown buffers)
+// across hot-path frame constructions: batch frames in internal/group and
+// payload envelopes in internal/core (incl. the raw extension registry)
+// encode through pooled scratch and Detach the result. The tcpnet frame
+// writer does not use the pool — each connection's writer goroutine already
+// reuses its own long-lived Encoder, which needs no pooling.
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// GetEncoder returns a reset Encoder from the package pool. Pair with
+// PutEncoder; take the result out through Detach (Bytes aliases the pooled
+// buffer and is invalidated by PutEncoder).
+func GetEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// PutEncoder returns an Encoder to the pool. The caller must not use the
+// encoder — or any slice obtained from its Bytes — afterwards.
+func PutEncoder(e *Encoder) {
+	if cap(e.buf) > maxPooledEncoderBytes {
+		// Don't let one giant snapshot pin megabytes in the pool forever.
+		e.buf = nil
+	}
+	encoderPool.Put(e)
+}
+
+// maxPooledEncoderBytes caps the buffer capacity a pooled encoder may retain.
+const maxPooledEncoderBytes = 1 << 20
 
 // Reset truncates the encoder for reuse, keeping the allocated capacity.
 // Bytes returned before Reset are invalidated by subsequent writes.
@@ -202,6 +244,27 @@ func (d *Decoder) Bytes32() (out [32]byte) {
 
 // VarBytes reads a length-prefixed byte string. The result is a copy.
 func (d *Decoder) VarBytes() []byte {
+	b := d.VarBytesView()
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// RawView reads exactly n unprefixed bytes WITHOUT copying: the result
+// aliases the decoder's input buffer (see VarBytesView for the aliasing
+// contract). Fixed-layout regions whose size both ends derive from earlier
+// fields — batch-frame bitmaps — read through it.
+func (d *Decoder) RawView(n int) []byte { return d.take(n) }
+
+// VarBytesView reads a length-prefixed byte string WITHOUT copying: the
+// result aliases the decoder's input buffer. Callers own the aliasing
+// hazard — the view is valid exactly as long as the input buffer is, and
+// must be treated as read-only. Zero-allocation decode paths (batch frames,
+// transport framing) use it; everything else should prefer VarBytes.
+func (d *Decoder) VarBytesView() []byte {
 	n := d.Uint32()
 	if d.err != nil {
 		return nil
@@ -210,13 +273,7 @@ func (d *Decoder) VarBytes() []byte {
 		d.err = fmt.Errorf("wire: length %d exceeds limit", n)
 		return nil
 	}
-	b := d.take(int(n))
-	if b == nil {
-		return nil
-	}
-	out := make([]byte, len(b))
-	copy(out, b)
-	return out
+	return d.take(int(n))
 }
 
 // String reads a length-prefixed string.

@@ -234,3 +234,78 @@ func TestListLenDecodeRejectsOversized(t *testing.T) {
 		t.Error("oversized list length must set the decoder error")
 	}
 }
+
+func TestVarBytesViewAliasesInput(t *testing.T) {
+	var e Encoder
+	e.VarBytes([]byte("alias-me"))
+	buf := e.Bytes()
+
+	d := NewDecoder(buf)
+	v := d.VarBytesView()
+	if string(v) != "alias-me" {
+		t.Fatalf("VarBytesView = %q", v)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	// The view must alias the input buffer (that is its whole point).
+	buf[4] ^= 0xFF
+	if v[0] == 'a' {
+		t.Error("VarBytesView copied the input; it must alias")
+	}
+}
+
+func TestVarBytesViewHostileLength(t *testing.T) {
+	var e Encoder
+	e.Uint32(maxLen + 1)
+	d := NewDecoder(e.Bytes())
+	if v := d.VarBytesView(); v != nil {
+		t.Errorf("oversized VarBytesView = %x, want nil", v)
+	}
+	if d.Err() == nil {
+		t.Error("oversized view length must set the decoder error")
+	}
+
+	var e2 Encoder
+	e2.Uint32(8) // promises 8 bytes, delivers none
+	d2 := NewDecoder(e2.Bytes())
+	if v := d2.VarBytesView(); v != nil {
+		t.Errorf("truncated VarBytesView = %x, want nil", v)
+	}
+	if d2.Err() == nil {
+		t.Error("truncated view must set the decoder error")
+	}
+}
+
+func TestEncoderPoolDetach(t *testing.T) {
+	e := GetEncoder()
+	e.String("pooled")
+	if e.Len() == 0 {
+		t.Fatal("pooled encoder did not accumulate")
+	}
+	out := e.Detach()
+	PutEncoder(e)
+
+	// The detached bytes must survive pool reuse.
+	e2 := GetEncoder()
+	defer PutEncoder(e2)
+	if e2.Len() != 0 {
+		t.Fatal("GetEncoder returned a dirty encoder")
+	}
+	e2.String("overwrite-the-shared-buffer")
+	d := NewDecoder(out)
+	if got := d.String(); got != "pooled" {
+		t.Errorf("detached bytes = %q, want %q (aliased the pooled buffer?)", got, "pooled")
+	}
+}
+
+func TestPutEncoderDropsOversizedBuffers(t *testing.T) {
+	e := GetEncoder()
+	e.VarBytes(make([]byte, maxPooledEncoderBytes+1))
+	PutEncoder(e) // must not panic; drops the giant buffer
+	e2 := GetEncoder()
+	defer PutEncoder(e2)
+	if e2.Len() != 0 {
+		t.Error("encoder from pool not reset")
+	}
+}
