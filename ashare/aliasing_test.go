@@ -1,0 +1,40 @@
+package ashare
+
+// Regression tests for accessor aliasing: index accessors must hand out
+// copies, never views into the stored records.
+
+import (
+	"testing"
+
+	"atum/internal/crypto"
+)
+
+func TestIndexAccessorsDoNotAlias(t *testing.T) {
+	ix := NewIndex()
+	meta := FileMeta{
+		Key: FileKey{Owner: 1, Name: "file"}, Size: 64, ChunkSize: 32,
+		ChunkDigests: []crypto.Digest{crypto.Hash([]byte("a")), crypto.Hash([]byte("b"))},
+	}
+	ix.Put(meta)
+
+	got, ok := ix.Lookup(meta.Key)
+	if !ok {
+		t.Fatal("lookup miss")
+	}
+	got.ChunkDigests[0] = crypto.Hash([]byte("corrupted"))
+
+	fresh, _ := ix.Lookup(meta.Key)
+	if fresh.ChunkDigests[0] != crypto.Hash([]byte("a")) {
+		t.Fatal("index record corrupted through the Lookup result (ChunkDigests aliased)")
+	}
+
+	results := ix.Search("file")
+	if len(results) != 1 {
+		t.Fatalf("search returned %d records", len(results))
+	}
+	results[0].ChunkDigests[1] = crypto.Hash([]byte("corrupted-too"))
+	fresh, _ = ix.Lookup(meta.Key)
+	if fresh.ChunkDigests[1] != crypto.Hash([]byte("b")) {
+		t.Fatal("index record corrupted through the Search result (ChunkDigests aliased)")
+	}
+}

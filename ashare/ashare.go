@@ -43,6 +43,16 @@ type FileMeta struct {
 // NumChunks returns the number of chunks.
 func (m FileMeta) NumChunks() int { return len(m.ChunkDigests) }
 
+// clone deep-copies the record (the ChunkDigests slice is the only
+// reference field): index accessors hand out clones so callers can never
+// alias — and thus corrupt — the stored metadata.
+func (m FileMeta) clone() FileMeta {
+	if m.ChunkDigests != nil {
+		m.ChunkDigests = append([]crypto.Digest(nil), m.ChunkDigests...)
+	}
+	return m
+}
+
 // Options configures an AShare node.
 type Options struct {
 	// Rho is the replication target ρ (paper: 0.1–0.3 of system size).
@@ -87,6 +97,15 @@ type Service struct {
 
 	gets map[FileKey]*getState
 	rand uint64
+
+	// pressure tracks per-destination egress pressure (OnEgressPressure):
+	// GET fan-out prefers un-pressured replicas and replication volunteering
+	// defers while our own egress is congested. Low entries are removed.
+	pressure map[atum.NodeID]atum.PressureLevel
+	// shedServes counts chunk responses dropped by egress overflow;
+	// deferredReplications counts replication rounds skipped under pressure.
+	shedServes           uint64
+	deferredReplications uint64
 }
 
 type getState struct {
@@ -104,10 +123,11 @@ type getState struct {
 // the node's Config, then Bind once the node exists.
 func New(opts Options) *Service {
 	return &Service{
-		opts:   opts.withDefaults(),
-		index:  NewIndex(),
-		chunks: make(map[FileKey][][]byte),
-		gets:   make(map[FileKey]*getState),
+		opts:     opts.withDefaults(),
+		index:    NewIndex(),
+		chunks:   make(map[FileKey][][]byte),
+		gets:     make(map[FileKey]*getState),
+		pressure: make(map[atum.NodeID]atum.PressureLevel),
 	}
 }
 
@@ -117,9 +137,27 @@ func (s *Service) Bind(node *atum.Node) { s.node = node }
 // Index returns the node's metadata index (a complete copy, §4.2).
 func (s *Service) Index() *Index { return s.index }
 
-// Callbacks returns the Atum callbacks AShare needs.
+// Callbacks returns the Atum callbacks AShare needs, including the
+// egress-pressure hook that paces replication and GET fan-out.
 func (s *Service) Callbacks() atum.Callbacks {
-	return atum.Callbacks{Deliver: s.deliver}
+	return atum.Callbacks{Deliver: s.deliver, OnEgressPressure: s.onPressure}
+}
+
+// onPressure records per-destination egress pressure (Low entries are
+// deleted so the map holds only currently pressured peers).
+func (s *Service) onPressure(dest atum.NodeID, level atum.PressureLevel) {
+	if level == atum.PressureLow {
+		delete(s.pressure, dest)
+		return
+	}
+	s.pressure[dest] = level
+}
+
+// FlowStats reports the service's load-shedding counters: chunk responses
+// dropped by egress overflow, and replication rounds deferred because the
+// local egress was congested.
+func (s *Service) FlowStats() (shedServes, deferredReplications uint64) {
+	return s.shedServes, s.deferredReplications
 }
 
 // --- broadcast records (the metadata update protocol) ---
@@ -240,34 +278,63 @@ func (s *Service) pump(key FileKey, g *getState) {
 		if _, busy := g.inflight[idx]; busy {
 			continue
 		}
-		target, ok := s.pickReplica(g, idx, replicas)
-		if !ok {
-			delete(s.gets, key)
-			g.done(nil, g.retries, fmt.Errorf("ashare: all replicas failed for chunk %d of %v", idx, key))
-			return
+		for {
+			target, ok := s.pickReplica(g, idx, replicas)
+			if !ok {
+				delete(s.gets, key)
+				g.done(nil, g.retries, fmt.Errorf("ashare: all replicas failed for chunk %d of %v", idx, key))
+				return
+			}
+			// A request shed at our own egress (ErrEgressOverflow under flow
+			// control) would wedge the GET if the chunk were marked inflight:
+			// no response ever arrives and nothing retries. Treat the send
+			// failure like a failed replica for this chunk and re-pick —
+			// exhausting every replica fails the GET explicitly.
+			if err := s.node.SendRaw(target, chunkRequest{Key: key, Idx: idx}); err != nil {
+				tried := g.tried[idx]
+				if tried == nil {
+					tried = make(map[atum.NodeID]bool)
+					g.tried[idx] = tried
+				}
+				tried[target] = true
+				continue
+			}
+			g.inflight[idx] = target
+			break
 		}
-		g.inflight[idx] = target
-		s.node.SendRaw(target, chunkRequest{Key: key, Idx: idx})
 	}
 }
 
 // pickReplica spreads chunk requests over replicas, skipping ones that
-// already served us a corrupt copy of this chunk.
+// already served us a corrupt copy of this chunk and — while alternatives
+// exist — ones our egress reports as pressured (GET fan-out pacing: spread
+// away from congested links; if every usable replica is pressured, proceed
+// anyway so a GET never stalls on the pressure signal).
 func (s *Service) pickReplica(g *getState, idx int, replicas []atum.NodeID) (atum.NodeID, bool) {
 	tried := g.tried[idx]
+	var fallback atum.NodeID
+	haveFallback := false
 	for i := 0; i < len(replicas); i++ {
 		s.rand = s.rand*6364136223846793005 + 1442695040888963407
 		cand := replicas[(idx+int(s.rand>>33))%len(replicas)]
-		if !tried[cand] {
+		if tried[cand] {
+			continue
+		}
+		if s.pressure[cand] == atum.PressureLow {
 			return cand, true
 		}
+		fallback, haveFallback = cand, true
 	}
 	for _, cand := range replicas {
-		if !tried[cand] {
+		if tried[cand] {
+			continue
+		}
+		if s.pressure[cand] == atum.PressureLow {
 			return cand, true
 		}
+		fallback, haveFallback = cand, true
 	}
-	return 0, false
+	return fallback, haveFallback
 }
 
 // HandleRaw is the node's OnRawMessage hook.
@@ -287,7 +354,24 @@ func (s *Service) HandleRaw(from atum.NodeID, msg any) {
 				data = []byte{0xFF}
 			}
 		}
-		s.node.SendRaw(from, chunkResponse{Key: m.Key, Idx: m.Idx, Data: data})
+		// Chunk data outranks bulk floods (PriorityData evicts stream-class
+		// traffic on overflow) but is still droppable. A silent drop would
+		// stall the requester (it retries only on a response), so a shed
+		// serve is answered with an empty busy-signal instead: it rides
+		// PriorityControl (evicting data/bulk if need be), fails the
+		// requester's integrity check, and reroutes the pull to another
+		// replica through the existing corrupt-chunk retry path. (For a
+		// legitimately empty chunk the signal IS the correct response —
+		// Hash(nil) matches the digest.) The signal is tiny and
+		// Control-class, so only a queue already full of Control traffic can
+		// reject it too; that residual no-response window is what request
+		// timeouts / receiver-fed backpressure would close (ROADMAP).
+		err := s.node.SendRawWith(from, chunkResponse{Key: m.Key, Idx: m.Idx, Data: data},
+			atum.SendOpts{Priority: atum.PriorityData})
+		if err != nil {
+			s.shedServes++
+			_ = s.node.SendRaw(from, chunkResponse{Key: m.Key, Idx: m.Idx})
+		}
 	case chunkResponse:
 		s.handleChunk(from, m)
 	}
@@ -365,6 +449,15 @@ func (s *Service) maybeReplicate(key FileKey) {
 	}
 	c := len(s.index.Replicas(key))
 	if c >= s.opts.Rho || c == 0 {
+		return
+	}
+	// Replication is background work: while our egress reports any
+	// destination at High or worse, don't volunteer — pulling ρ·size bytes
+	// and re-serving them would add load exactly when the system is shedding
+	// it. The feedback loop re-offers the chance on every later
+	// replicaRecord broadcast, so deferral costs only time.
+	if len(s.pressure) > 0 {
+		s.deferredReplications++
 		return
 	}
 	p := float64(s.opts.Rho-c) / float64(s.opts.SystemSize)

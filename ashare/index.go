@@ -44,12 +44,13 @@ func (ix *Index) Delete(key FileKey) {
 	delete(ix.replicas, key)
 }
 
-// Lookup returns the metadata for a file.
+// Lookup returns the metadata for a file. The record is a copy: callers may
+// keep or mutate it (ChunkDigests included) without corrupting the index.
 func (ix *Index) Lookup(key FileKey) (FileMeta, bool) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	m, ok := ix.files[key]
-	return m, ok
+	return m.clone(), ok
 }
 
 // AddReplica records that node stores a replica of key.
@@ -84,13 +85,15 @@ func (ix *Index) Len() int {
 }
 
 // Search returns files whose owner/name contains the term, sorted by key.
+// Like Lookup, the records are copies — mutating them cannot corrupt the
+// index.
 func (ix *Index) Search(term string) []FileMeta {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	var out []FileMeta
 	for k, m := range ix.files {
 		if strings.Contains(k.String(), term) {
-			out = append(out, m)
+			out = append(out, m.clone())
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })

@@ -61,6 +61,11 @@ type Options struct {
 	// Fanout bounds how many peers each node pushes data to (0 = all known
 	// vgroup + neighbor members).
 	Fanout int
+	// PushTTL bounds how long a tier-2 data push may wait in the sender's
+	// egress queue before being dropped as stale (chunk data outlives its
+	// usefulness quickly — a peer that already verified the chunk via
+	// another parent no longer wants our copy). 0 = no limit.
+	PushTTL time.Duration
 }
 
 // digestMsg is the tier-1 payload.
@@ -116,6 +121,12 @@ type Service struct {
 	delivered     map[uint64]bool
 	deliveredAt   map[uint64]time.Duration
 	digestAt      map[uint64]time.Duration
+
+	// pressure tracks per-destination egress pressure (OnEgressPressure);
+	// pushData sheds toward pressured peers instead of flooding blindly.
+	// Only High/Critical destinations are tracked (Low entries are removed).
+	pressure map[atum.NodeID]atum.PressureLevel
+	shed     uint64 // pushes withheld or rejected under pressure
 }
 
 // New creates a stream service.
@@ -130,6 +141,7 @@ func New(opts Options) *Service {
 		delivered:     make(map[uint64]bool),
 		deliveredAt:   make(map[uint64]time.Duration),
 		digestAt:      make(map[uint64]time.Duration),
+		pressure:      make(map[atum.NodeID]atum.PressureLevel),
 	}
 }
 
@@ -137,7 +149,8 @@ func New(opts Options) *Service {
 func (s *Service) Bind(node *atum.Node) { s.node = node }
 
 // Callbacks returns the Atum callbacks for tier 1, including the Forward
-// restriction implementing Single/Double cycle dissemination.
+// restriction implementing Single/Double cycle dissemination and the
+// egress-pressure hook that paces tier-2 pushes.
 func (s *Service) Callbacks() atum.Callbacks {
 	return atum.Callbacks{
 		Deliver: s.deliverDigest,
@@ -149,8 +162,24 @@ func (s *Service) Callbacks() atum.Callbacks {
 				return link.Cycle < 1
 			}
 		},
+		OnEgressPressure: s.onPressure,
 	}
 }
+
+// onPressure records per-destination egress pressure. Low entries are
+// deleted so the map holds only currently pressured peers.
+func (s *Service) onPressure(dest atum.NodeID, level atum.PressureLevel) {
+	if level == atum.PressureLow {
+		delete(s.pressure, dest)
+		return
+	}
+	s.pressure[dest] = level
+}
+
+// Shed reports how many tier-2 pushes were withheld (pressured destination)
+// or rejected (egress overflow) instead of sent — the application-chosen
+// load shedding the flow-control API enables.
+func (s *Service) Shed() uint64 { return s.shed }
 
 // Publish sends one stream chunk: the digest through Atum (tier 1), the
 // data through the push multicast (tier 2).
@@ -158,7 +187,7 @@ func (s *Service) Publish(seq uint64, data []byte) error {
 	if err := s.node.Broadcast(encodeStream(digestMsg{Seq: seq, Digest: crypto.Hash(data)})); err != nil {
 		return err
 	}
-	s.pushData(dataMsg{Seq: seq, Data: data})
+	s.pushData(dataMsg{Seq: seq, Data: data}, false)
 	s.tryDeliver(seq, data)
 	return nil
 }
@@ -178,7 +207,7 @@ func (s *Service) HandleRaw(_ atum.NodeID, msg any) {
 		if crypto.Hash(m.Data) != want {
 			return
 		}
-		s.pushData(m)
+		s.pushData(m, false)
 		s.tryDeliver(m.Seq, m.Data)
 		return
 	}
@@ -193,22 +222,46 @@ func (s *Service) HandleRaw(_ atum.NodeID, msg any) {
 		return
 	}
 	s.pendingData[m.Seq] = append(s.pendingData[m.Seq], m.Data)
-	s.pushData(m)
+	s.pushData(m, true)
 }
 
 // pushData forwards a chunk to this node's vgroup members and neighbor
-// members (tier-2 links follow the overlay structure, §4.3).
-func (s *Service) pushData(m dataMsg) {
+// members (tier-2 links follow the overlay structure, §4.3), pacing off the
+// egress pressure signal instead of flooding blindly: destinations at
+// Critical receive no data pushes (their verified copy arrives via another
+// of the f+1 parents), destinations at High still receive verified data but
+// no speculative (unverified-candidate) forwards, and overflow rejections
+// count as sheds rather than retries — chunk data is replaceable, and the
+// tier-1 digests that make it verifiable ride the protocol path, which is
+// never shed.
+func (s *Service) pushData(m dataMsg, speculative bool) {
 	if s.node == nil {
 		return
 	}
 	self := s.node.Identity().ID
 	sent := map[atum.NodeID]bool{self: true}
+	pushed := 0 // successful pushes only: sheds must not eat Fanout slots
 	send := func(id atum.NodeID) {
-		if !sent[id] && (s.opts.Fanout == 0 || len(sent)-1 < s.opts.Fanout) {
-			sent[id] = true
-			s.node.SendRaw(id, m)
+		if sent[id] {
+			return
 		}
+		sent[id] = true
+		if s.opts.Fanout > 0 && pushed >= s.opts.Fanout {
+			return
+		}
+		if lvl := s.pressure[id]; lvl >= atum.PressureCritical ||
+			(lvl >= atum.PressureHigh && speculative) {
+			s.shed++
+			return
+		}
+		err := s.node.SendRawWith(id, m, atum.SendOpts{
+			Priority: atum.PriorityBulk, TTL: s.opts.PushTTL,
+		})
+		if err != nil {
+			s.shed++
+			return
+		}
+		pushed++
 	}
 	for _, member := range s.node.GroupMembers() {
 		send(member.ID)

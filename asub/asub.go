@@ -70,8 +70,21 @@ func (p *Participant) Subscribe(contact atum.Identity) error { return p.node.Joi
 // Unsubscribe leaves the topic.
 func (p *Participant) Unsubscribe() error { return p.node.Leave() }
 
-// Publish broadcasts an event to every subscriber of the topic.
+// Publish broadcasts an event to every subscriber of the topic. Errors are
+// the broadcast surface's typed errors (docs/API.md): atum.ErrNotMember
+// when the participant is not (yet or anymore) subscribed, and
+// atum.ErrBroadcastTooLarge for oversized events — check with errors.Is and
+// re-publish after Subscribe completes, rather than assuming the event went
+// out.
 func (p *Participant) Publish(data []byte) error { return p.node.Broadcast(data) }
+
+// PublishWith is Publish with flow-control options: a priority class and an
+// egress TTL for the publisher's first-hop gossip (atum.BroadcastOpts).
+// Time-critical feeds publish with a TTL so a congested publisher sheds
+// stale events at the source instead of delivering them late everywhere.
+func (p *Participant) PublishWith(data []byte, opts atum.BroadcastOpts) error {
+	return p.node.BroadcastWith(data, opts)
+}
 
 // Subscribed reports whether the participant currently receives events.
 func (p *Participant) Subscribed() bool { return p.node.IsMember() }

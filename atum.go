@@ -45,6 +45,18 @@
 //   - EgressMaxFlushWindow: the adaptive window's cap (default 5 ms;
 //     ModeSync group sends flush at every lockstep round tick instead)
 //
+// # Flow control
+//
+// The send surface is flow-controlled (docs/API.md): SendRaw returns typed
+// errors instead of silently dropping, BroadcastWith/SendRawWith accept a
+// priority class and a queue-residency TTL, node-addressed egress queues
+// are bounded (Config.EgressQueueLimit) with a paced drain, and
+// applications observe per-destination pressure through
+// Callbacks.OnEgressPressure (Low/High/Critical, with hysteresis) and
+// Node.EgressStats. AStream and AShare pace their floods off these signals
+// instead of flooding blindly; `atum-bench -exp backpressure` measures the
+// effect under a slow consumer.
+//
 // # Wire codec
 //
 // Payloads and engine messages are framed by a deterministic, tagged,
@@ -102,6 +114,53 @@ type (
 	// GroupComposition is a vgroup's membership at one epoch (the value
 	// handed to Callbacks.OnJoined).
 	GroupComposition = group.Composition
+	// BroadcastOpts are BroadcastWith's flow-control options.
+	BroadcastOpts = core.BroadcastOpts
+	// SendOpts are SendRawWith's flow-control options.
+	SendOpts = core.SendOpts
+	// Priority is a send's egress priority class (lower = more important).
+	Priority = core.Priority
+	// PressureLevel is a destination's egress pressure level.
+	PressureLevel = core.PressureLevel
+	// EgressStats is a snapshot of a node's egress scheduler.
+	EgressStats = core.EgressStats
+	// EgressDestStats is one destination's entry in EgressStats.
+	EgressDestStats = core.EgressDestStats
+)
+
+// Typed send errors (see docs/API.md for the full error taxonomy).
+var (
+	// ErrNotMember: the sender is not currently a vgroup member.
+	ErrNotMember = core.ErrNotMember
+	// ErrBroadcastTooLarge: the payload exceeds MaxBroadcastBytes.
+	ErrBroadcastTooLarge = core.ErrBroadcastTooLarge
+	// ErrNotRunning: the node is not attached to a running runtime.
+	ErrNotRunning = core.ErrNotRunning
+	// ErrEgressOverflow: the destination's bounded egress queue dropped the
+	// message at the sender (flow control).
+	ErrEgressOverflow = core.ErrEgressOverflow
+	// ErrUnregisteredType: Config.RequireRawCodec is set and the raw message
+	// type has no wire codec (RegisterRawMessage).
+	ErrUnregisteredType = core.ErrUnregisteredType
+)
+
+// Send priority classes.
+const (
+	// PriorityControl is protocol-critical traffic (the default).
+	PriorityControl = core.PriorityControl
+	// PriorityData is ordinary application payload traffic.
+	PriorityData = core.PriorityData
+	// PriorityBulk is best-effort bulk traffic: first to be shed.
+	PriorityBulk = core.PriorityBulk
+)
+
+// Egress pressure levels (Callbacks.OnEgressPressure). Levels carry
+// hysteresis — distinct enter and exit thresholds — so they signal sustained
+// load changes, not noise (docs/API.md, "Pressure levels").
+const (
+	PressureLow      = core.PressureLow
+	PressureHigh     = core.PressureHigh
+	PressureCritical = core.PressureCritical
 )
 
 // Re-exported constants.
@@ -182,8 +241,18 @@ func (n *Node) Join(contact Identity) error { return n.inner.Join(contact) }
 // Leave requests removal from the system.
 func (n *Node) Leave() error { return n.inner.Leave() }
 
-// Broadcast disseminates data to every node in the system.
+// Broadcast disseminates data to every node in the system. It is
+// BroadcastWith with default options — the paper's zero-option signature,
+// kept as a thin wrapper.
 func (n *Node) Broadcast(data []byte) error { return n.inner.Broadcast(data) }
+
+// BroadcastWith is Broadcast with flow-control options: a priority class
+// and an optional TTL bounding how long the origin's first-hop gossip items
+// may wait in its egress queues before being dropped as stale (see
+// docs/API.md; remote forwarders use defaults).
+func (n *Node) BroadcastWith(data []byte, opts BroadcastOpts) error {
+	return n.inner.BroadcastWith(data, opts)
+}
 
 // Identity returns this node's identity (with public key).
 func (n *Node) Identity() Identity { return n.inner.Identity() }
@@ -194,12 +263,30 @@ func (n *Node) IsMember() bool { return n.inner.IsMember() }
 // GroupSize returns the node's current vgroup size (0 if not a member).
 func (n *Node) GroupSize() int { return n.inner.Comp().N() }
 
-// GroupMembers returns the node's current vgroup member identities.
+// GroupMembers returns a copy of the node's current vgroup member
+// identities: callers may keep or mutate the slice freely without touching
+// engine state.
 func (n *Node) GroupMembers() []Identity { return n.inner.Comp().Members }
 
 // SendRaw sends an application-level message to another node (delivered to
-// its Config.OnRawMessage hook).
-func (n *Node) SendRaw(to NodeID, msg any) { n.inner.SendRaw(to, msg) }
+// its Config.OnRawMessage hook). It reports failures instead of silently
+// dropping — ErrNotRunning, ErrEgressOverflow, ErrUnregisteredType (see
+// docs/API.md); pre-existing callers may keep ignoring the result. It is
+// SendRawWith with default options.
+func (n *Node) SendRaw(to NodeID, msg any) error { return n.inner.SendRaw(to, msg) }
+
+// SendRawWith is SendRaw with flow-control options (priority class, egress
+// queue-residency TTL).
+func (n *Node) SendRawWith(to NodeID, msg any, opts SendOpts) error {
+	return n.inner.SendRawWith(to, msg, opts)
+}
+
+// EgressStats returns a snapshot of the node's egress scheduler: per-
+// destination queue depth, pressure level, smoothed arrival gap, and drop
+// counters. Call from the node's actor context (in simulation, harness code
+// between Run calls is also safe; under RealtimeRuntime use its EgressStats
+// wrapper).
+func (n *Node) EgressStats() EgressStats { return n.inner.EgressStats() }
 
 // Now returns the node's clock (virtual under simulation).
 func (n *Node) Now() time.Duration { return n.inner.Now() }
@@ -282,11 +369,18 @@ func (c *SimCluster) AddNodeWith(cb Callbacks, mut func(*Config)) *Node {
 func (c *SimCluster) Run(d time.Duration) { c.Net.Run(c.Net.Now() + d) }
 
 // RunUntil advances virtual time in small steps until cond holds or the
-// deadline passes; it reports whether cond held.
+// deadline passes; it reports whether cond held. If cond already holds it
+// returns true without advancing time, and it never advances past
+// Now()+max — the final step is clamped to the deadline exactly, so events
+// scheduled at the deadline still count.
 func (c *SimCluster) RunUntil(cond func() bool, max time.Duration) bool {
 	deadline := c.Net.Now() + max
 	for !cond() && c.Net.Now() < deadline {
-		c.Net.Run(c.Net.Now() + 50*time.Millisecond)
+		step := c.Net.Now() + 50*time.Millisecond
+		if step > deadline {
+			step = deadline
+		}
+		c.Net.Run(step)
 	}
 	return cond()
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"time"
@@ -48,7 +49,20 @@ func run() error {
 		}
 	}
 
+	// Publish errors are typed (docs/API.md): a publisher that is not (or
+	// no longer) subscribed gets ErrNotMember instead of a silent loss.
 	if err := participants[1].Publish([]byte("volatile groups ship!")); err != nil {
+		if errors.Is(err, atum.ErrNotMember) {
+			return fmt.Errorf("publisher lost its subscription mid-publish: %w", err)
+		}
+		return err
+	}
+	// Time-critical events can carry flow-control options: this one is
+	// stale after a second, so a congested publisher sheds its own share
+	// of the first gossip hop rather than delivering it late (delivery is
+	// still guaranteed by the topic vgroup's agreement).
+	if err := participants[1].PublishWith([]byte("tick: prices updated"),
+		atum.BroadcastOpts{TTL: time.Second}); err != nil {
 		return err
 	}
 	cluster.Run(10 * time.Second)

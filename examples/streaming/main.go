@@ -29,6 +29,12 @@ func run() error {
 		idx := i
 		svc := astream.New(astream.Options{
 			Mode: astream.Double,
+			// Flow control (docs/API.md): tier-2 pushes ride PriorityBulk
+			// with this TTL — a chunk still waiting in a congested egress
+			// queue after 500 ms is stale and shed at the sender; the
+			// pressure hook in svc.Callbacks() stops pushes to overloaded
+			// peers entirely.
+			PushTTL: 500 * time.Millisecond,
 			OnChunk: func(c astream.Chunk) {
 				if idx == n-1 { // log one receiver only
 					fmt.Printf("receiver %d verified chunk %d (%d bytes)\n", idx+1, c.Seq, len(c.Data))
@@ -72,5 +78,10 @@ func run() error {
 		}
 	}
 	fmt.Printf("receiver %d verified %d/10 chunks\n", n, delivered)
+	shed := uint64(0)
+	for _, svc := range services {
+		shed += svc.Shed()
+	}
+	fmt.Printf("tier-2 pushes shed under pressure: %d\n", shed)
 	return nil
 }

@@ -141,6 +141,14 @@ type Callbacks struct {
 	// detectors in tests; all correct members of a vgroup must report the
 	// same sequence per epoch.
 	OnApply func(gid uint64, epoch uint64, digest [32]byte, kind string)
+	// OnEgressPressure, when set, observes pressure-level transitions of
+	// node-addressed egress destinations (bounded queues only — see
+	// Config.EgressQueueLimit). Levels carry hysteresis (distinct enter/exit
+	// thresholds), so the hook fires on genuine load changes, not noise.
+	// It runs inside the node's event loop, possibly from within a SendRaw
+	// call — treat it as a signal (record the level, adjust pacing); do not
+	// block or send from it.
+	OnEgressPressure func(dest ids.NodeID, level PressureLevel)
 }
 
 // Delivery is one delivered broadcast.
@@ -237,6 +245,26 @@ type Config struct {
 	// (node-addressed) traffic. 0 selects the default (5 ms, a few LAN round
 	// trips).
 	EgressMaxFlushWindow time.Duration
+	// EgressQueueLimit bounds each node-addressed egress queue (application
+	// raw traffic) in items, and turns on the scheduler's flow control: the
+	// drain is paced (at most one carrier per adaptive window per
+	// destination), queue depth drives the OnEgressPressure levels, and
+	// overflow drops at the sender (lower-priority victims first; SendRaw
+	// returns ErrEgressOverflow when its own message is the drop).
+	// Group-addressed (protocol) queues are never bounded. 0 selects the
+	// default (1024); negative disables flow control entirely, restoring
+	// the flush-when-full behaviour (the `-exp backpressure` baseline).
+	EgressQueueLimit int
+	// EgressQueueBytes bounds each node-addressed egress queue in payload
+	// bytes (incl. per-item framing). 0 selects the default (8 MiB);
+	// negative disables the byte bound.
+	EgressQueueBytes int
+	// RequireRawCodec makes SendRaw reject messages whose type is not
+	// registered in the wire extension range (RegisterRawMessage) with
+	// ErrUnregisteredType, instead of silently falling back to the direct /
+	// gob paths. Set it where every raw type is expected to be wire-codable
+	// (byte-level transports, flow-controlled deployments).
+	RequireRawCodec bool
 	// LegacyBatchFrames makes the egress scheduler emit v1 batch-carrier
 	// frames instead of the compact v2 layout (docs/WIRE.md, "Batch frame
 	// v2"). Receivers auto-detect both versions, so a mixed cluster
@@ -299,6 +327,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EgressMaxFlushWindow <= 0 {
 		c.EgressMaxFlushWindow = 5 * time.Millisecond
+	}
+	if c.EgressQueueLimit == 0 {
+		c.EgressQueueLimit = 1024
+	}
+	if c.EgressQueueBytes == 0 {
+		c.EgressQueueBytes = 8 << 20
 	}
 	if c.ReplyMode == 0 {
 		if c.Mode == smr.ModeAsync {

@@ -32,10 +32,19 @@ type egressFlushTimer struct{}
 // newEgress builds the node's scheduler. The callbacks close over n: they
 // run inside the node's event loop, after Start has set n.env.
 func (n *Node) newEgress() *egress.Scheduler {
+	limit, limitBytes := n.cfg.EgressQueueLimit, n.cfg.EgressQueueBytes
+	if limit < 0 {
+		limit = 0 // flow control disabled
+	}
+	if limitBytes < 0 {
+		limitBytes = 0
+	}
 	return egress.New(egress.Config{
-		MaxBatch:  n.cfg.GossipMaxBatch,
-		MaxBytes:  n.cfg.GossipMaxBatchBytes,
-		MaxWindow: n.cfg.EgressMaxFlushWindow,
+		MaxBatch:   n.cfg.GossipMaxBatch,
+		MaxBytes:   n.cfg.GossipMaxBatchBytes,
+		MaxWindow:  n.cfg.EgressMaxFlushWindow,
+		Limit:      limit,
+		LimitBytes: limitBytes,
 		Now: func() time.Duration {
 			if n.env == nil {
 				return 0
@@ -45,6 +54,11 @@ func (n *Node) newEgress() *egress.Scheduler {
 		Arm: func(d time.Duration) {
 			if n.env != nil {
 				n.env.SetTimer(d, egressFlushTimer{})
+			}
+		},
+		OnPressure: func(dest ids.NodeID, level egress.Level) {
+			if n.cfg.Callbacks.OnEgressPressure != nil {
+				n.cfg.Callbacks.OnEgressPressure(dest, PressureLevel(level))
 			}
 		},
 		Flush: n.egressFlush,
@@ -72,14 +86,21 @@ var batchableKinds = map[group.Kind]bool{
 // notices). In synchronous mode group sends are round-quantized anyway, so
 // batches defer to the round-tick FlushAll instead of arming window timers.
 func (n *Node) sendViaEgress(src, dst group.Composition, kind group.Kind, msgID crypto.Digest, payload []byte) {
+	n.sendViaEgressWith(src, dst, kind, msgID, payload, egress.ClassControl, 0)
+}
+
+// sendViaEgressWith is sendViaEgress with an explicit priority class and
+// absolute expiry (0 = never): the origin of a BroadcastWith stamps its
+// first-hop gossip items with the caller's flow-control options.
+func (n *Node) sendViaEgressWith(src, dst group.Composition, kind group.Kind, msgID crypto.Digest, payload []byte, class egress.Class, expires time.Duration) {
 	if n.cfg.EgressGossipOnly && kind != kindGossip {
 		// Ablation/baseline: only the gossip kind rides the scheduler.
 		group.Send(n.sendGroupQuantized, n.env.Rand(), src, n.cfg.Identity.ID, dst, kind, msgID, payload)
 		return
 	}
-	n.egress.EnqueueGroup(src, dst,
+	n.egress.EnqueueGroupWith(src, dst,
 		group.BatchItem{Kind: kind, MsgID: msgID, Payload: payload},
-		n.cfg.Mode == smr.ModeSync)
+		n.cfg.Mode == smr.ModeSync, class, expires)
 }
 
 // egressFlush is the scheduler's transmit callback: it frames one

@@ -1,0 +1,176 @@
+package core
+
+// The flow-controlled send surface: typed send errors, per-send options
+// (priority class, queue-residency TTL), and egress pressure introspection.
+// The egress scheduler (internal/egress) bounds and paces node-addressed
+// queues; this file is the engine-level API over that machinery — see
+// docs/API.md for the application-facing contract.
+
+import (
+	"errors"
+	"time"
+
+	"atum/internal/egress"
+	"atum/internal/ids"
+)
+
+// Flow-control errors of the send surface.
+var (
+	// ErrNotRunning is returned by SendRaw/SendRawWith when the node is not
+	// attached to a running runtime (before Start, or after Stop). Sends in
+	// that state used to be silent no-ops.
+	ErrNotRunning = errors.New("core: node is not attached to a running runtime")
+	// ErrEgressOverflow is returned when the destination's bounded egress
+	// queue is full and held no lower-priority item to evict: the message
+	// was dropped at the sender. Back off, shed, or retry later — the
+	// OnEgressPressure hook signals when the destination recovers.
+	ErrEgressOverflow = errors.New("core: egress queue full for destination")
+	// ErrUnregisteredType is returned (only when Config.RequireRawCodec is
+	// set) for SendRaw messages whose type has no wire extension codec
+	// (RegisterRawMessage): such messages cannot ride egress batches or
+	// wire-codec transports and would silently fall back to slower paths.
+	ErrUnregisteredType = errors.New("core: raw message type not registered with RegisterRawMessage")
+)
+
+// Priority is a send's egress priority class; lower values are more
+// important. Overflow on a bounded egress queue evicts strictly
+// lower-priority queued items first and rejects equal-priority arrivals.
+type Priority uint8
+
+// Priority classes.
+const (
+	// PriorityControl is protocol-critical traffic (the default): request/
+	// reply handshakes, metadata. Never evicted in favor of data.
+	PriorityControl Priority = Priority(egress.ClassControl)
+	// PriorityData is ordinary application payload traffic.
+	PriorityData Priority = Priority(egress.ClassData)
+	// PriorityBulk is best-effort bulk traffic (streaming floods,
+	// speculative forwards): first to be shed under pressure.
+	PriorityBulk Priority = Priority(egress.ClassBulk)
+)
+
+// PressureLevel is a destination's egress pressure level, derived from the
+// bounded queue's depth with hysteresis so it does not flap: High enters at
+// half the queue limit and exits below a quarter; Critical enters at 7/8 of
+// the limit and exits (back to High) below 5/8.
+type PressureLevel int
+
+// Pressure levels.
+const (
+	PressureLow      PressureLevel = PressureLevel(egress.LevelLow)
+	PressureHigh     PressureLevel = PressureLevel(egress.LevelHigh)
+	PressureCritical PressureLevel = PressureLevel(egress.LevelCritical)
+)
+
+// String implements fmt.Stringer.
+func (l PressureLevel) String() string { return egress.Level(l).String() }
+
+// SendOpts shapes one SendRawWith call.
+type SendOpts struct {
+	// Priority is the egress priority class (default PriorityControl).
+	Priority Priority
+	// TTL bounds how long the message may wait in the sender's egress queue:
+	// items older than TTL are dropped at flush time instead of transmitted
+	// (counted as DroppedExpired in EgressStats). 0 = no limit. Only
+	// meaningful on the batched egress path; direct sends ignore it.
+	TTL time.Duration
+}
+
+// BroadcastOpts shapes one BroadcastWith call. The options apply to the
+// origin node's own egress enqueues — its share of the first gossip hop,
+// which is where the publisher's flood pressure lives. They cannot cost
+// delivery: by the time the first hop leaves, the broadcast is already
+// committed through the origin vgroup's agreement, and every other member
+// forwards its own share with default options (as do all remote hops).
+// Hop-by-hop propagation of the options would need a gossip payload format
+// change and is deliberately out of scope (ROADMAP).
+type BroadcastOpts struct {
+	// Priority is the egress priority class stamped on the origin's
+	// first-hop gossip items. Today it is recorded but has no observable
+	// effect: class-based eviction runs only on bounded node-addressed
+	// queues, and group-addressed (protocol) queues are never bounded. The
+	// field is reserved for transport-level prioritization; TTL is the
+	// operative broadcast knob.
+	Priority Priority
+	// TTL bounds how long the origin's first-hop gossip items may wait in
+	// its egress queues (e.g. behind the synchronous engine's round tick);
+	// stale items are dropped at flush time. 0 = no limit. The local
+	// delivery (the origin vgroup's agreement) is unaffected.
+	TTL time.Duration
+}
+
+// EgressDestStats is one node-addressed destination's flow-control snapshot.
+type EgressDestStats struct {
+	Node ids.NodeID
+	// Depth and Bytes are the currently queued items and payload bytes.
+	Depth int
+	Bytes int
+	// ArrivalGap is the smoothed inter-arrival gap of sends to this
+	// destination (the adaptive flush window's input).
+	ArrivalGap time.Duration
+	Level      PressureLevel
+	Flushes    uint64
+	// DroppedOverflow counts items dropped because the bounded queue was
+	// full; DroppedExpired counts TTL drops at flush time.
+	DroppedOverflow uint64
+	DroppedExpired  uint64
+}
+
+// EgressStats is a snapshot of the node's egress scheduler.
+type EgressStats struct {
+	// Dests lists every tracked node-addressed destination, sorted by node
+	// ID. Group-addressed (protocol) queues are unbounded and not listed.
+	Dests []EgressDestStats
+	// Aggregate counters across all destinations, group queues included.
+	Enqueued        uint64
+	Immediate       uint64
+	Flushes         uint64
+	Items           uint64
+	DroppedOverflow uint64
+	DroppedExpired  uint64
+}
+
+// EgressStats returns a snapshot of the node's egress scheduler: per-
+// destination queue depths, pressure levels, and drop counters. Like every
+// Node accessor it must run in the node's actor context (in simulation,
+// harness code between Run calls is also safe).
+func (n *Node) EgressStats() EgressStats {
+	dests, totals := n.egress.Snapshot()
+	out := EgressStats{
+		Enqueued:        totals.Enqueued,
+		Immediate:       totals.Immediate,
+		Flushes:         totals.Flushes,
+		Items:           totals.Items,
+		DroppedOverflow: totals.DroppedOverflow,
+		DroppedExpired:  totals.DroppedExpired,
+	}
+	for _, d := range dests {
+		out.Dests = append(out.Dests, EgressDestStats{
+			Node:            d.Node,
+			Depth:           d.Depth,
+			Bytes:           d.Bytes,
+			ArrivalGap:      d.Gap,
+			Level:           PressureLevel(d.Level),
+			Flushes:         d.Flushes,
+			DroppedOverflow: d.DroppedOverflow,
+			DroppedExpired:  d.DroppedExpired,
+		})
+	}
+	return out
+}
+
+// SetEgressQueueLimit changes the egress flow-control bounds at runtime
+// (items and queued bytes per node-addressed destination; limit <= 0
+// disables flow control). The experiment harness uses it so the paced and
+// unpaced configurations share one identical growth history, like
+// SetEgressGossipOnly before it.
+func (n *Node) SetEgressQueueLimit(limit, limitBytes int) {
+	n.cfg.EgressQueueLimit, n.cfg.EgressQueueBytes = limit, limitBytes
+	if limit < 0 {
+		limit = 0
+	}
+	if limitBytes < 0 {
+		limitBytes = 0
+	}
+	n.egress.SetLimits(limit, limitBytes)
+}

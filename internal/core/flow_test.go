@@ -1,0 +1,219 @@
+package core
+
+// Tests for the flow-controlled send surface: typed send errors, the
+// one-release compatibility wrappers, origin-side broadcast TTLs, egress
+// stats, and the pressure hook plumbing.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"atum/internal/ids"
+	"atum/internal/smr"
+)
+
+// TestSendRawNotRunningTyped pins the fix for silent no-op sends: SendRaw
+// before a runtime is attached, and after Stop, reports ErrNotRunning
+// instead of silently dropping the message.
+func TestSendRawNotRunningTyped(t *testing.T) {
+	registerEgressTestMsg()
+	h := newHarness(t, smr.ModeSync, 1, nil)
+	n := New(h.defaultConfig(99, smr.ModeSync))
+	// Not attached to any runtime yet.
+	if err := n.SendRaw(1, egressTestMsg{Seq: 1}); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("SendRaw before runtime attach returned %v, want ErrNotRunning", err)
+	}
+	// Attached and running: sends succeed.
+	nodes := h.bootstrapSystem(smr.ModeSync, 2, 20*time.Second)
+	if err := nodes[0].SendRaw(nodes[1].cfg.Identity.ID, egressTestMsg{Seq: 2}); err != nil {
+		t.Fatalf("SendRaw on a running node returned %v", err)
+	}
+	// Stopped: typed error again.
+	nodes[0].Stop()
+	if err := nodes[0].SendRaw(nodes[1].cfg.Identity.ID, egressTestMsg{Seq: 3}); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("SendRaw after Stop returned %v, want ErrNotRunning", err)
+	}
+}
+
+// unregisteredRawMsg deliberately has no wire extension codec.
+type unregisteredRawMsg struct{ X int }
+
+// TestSendRawUnregisteredType: with Config.RequireRawCodec, sending a type
+// that has no wire codec fails with ErrUnregisteredType on both the batched
+// and the unbatched (GossipMaxBatch=1) paths; without the knob the old
+// direct-send fallback still works.
+func TestSendRawUnregisteredType(t *testing.T) {
+	registerEgressTestMsg()
+	for _, maxBatch := range []int{0, 1} {
+		t.Run(fmt.Sprintf("maxBatch=%d", maxBatch), func(t *testing.T) {
+			h := newHarness(t, smr.ModeSync, 1, func(cfg *Config) {
+				cfg.RequireRawCodec = true
+				cfg.GossipMaxBatch = maxBatch
+			})
+			nodes := h.bootstrapSystem(smr.ModeSync, 2, 20*time.Second)
+			to := nodes[1].cfg.Identity.ID
+			if err := nodes[0].SendRaw(to, unregisteredRawMsg{X: 1}); !errors.Is(err, ErrUnregisteredType) {
+				t.Fatalf("unregistered type returned %v, want ErrUnregisteredType", err)
+			}
+			if err := nodes[0].SendRaw(to, egressTestMsg{Seq: 1}); err != nil {
+				t.Fatalf("registered type returned %v", err)
+			}
+		})
+	}
+	// Without RequireRawCodec the unregistered type rides the direct path.
+	h := newHarness(t, smr.ModeSync, 2, nil)
+	nodes := h.bootstrapSystem(smr.ModeSync, 2, 20*time.Second)
+	var got []any
+	nodes[1].cfg.OnRawMessage = func(_ ids.NodeID, msg any) { got = append(got, msg) }
+	if err := nodes[0].SendRaw(nodes[1].cfg.Identity.ID, unregisteredRawMsg{X: 7}); err != nil {
+		t.Fatalf("default config rejected an unregistered type: %v", err)
+	}
+	h.net.Run(h.net.Now() + time.Second)
+	if len(got) != 1 || got[0].(unregisteredRawMsg).X != 7 {
+		t.Fatalf("unregistered raw message not delivered: %v", got)
+	}
+}
+
+// TestOldSendSignaturesStillWork pins the one-release compatibility
+// wrappers: the zero-option Broadcast and SendRaw keep working exactly like
+// their *With counterparts with default options — same delivery, same raw
+// handling — so pre-redesign callers compile and behave unchanged.
+func TestOldSendSignaturesStillWork(t *testing.T) {
+	registerEgressTestMsg()
+	h := newHarness(t, smr.ModeSync, 3, nil)
+	nodes := h.bootstrapSystem(smr.ModeSync, 3, 20*time.Second)
+	var raws []uint64
+	nodes[2].cfg.OnRawMessage = func(_ ids.NodeID, msg any) {
+		raws = append(raws, msg.(egressTestMsg).Seq)
+	}
+
+	// Old zero-option forms, used exactly as pre-redesign code would
+	// (results ignored).
+	nodes[0].Broadcast([]byte("old-broadcast")) //nolint:errcheck
+	nodes[1].SendRaw(nodes[2].cfg.Identity.ID,  //nolint:errcheck
+		egressTestMsg{Seq: 10, Body: []byte("old")})
+
+	// New forms with explicit default options.
+	if err := nodes[0].BroadcastWith([]byte("new-broadcast"), BroadcastOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[1].SendRawWith(nodes[2].cfg.Identity.ID,
+		egressTestMsg{Seq: 11, Body: []byte("new")}, SendOpts{}); err != nil {
+		t.Fatal(err)
+	}
+
+	h.net.Run(h.net.Now() + 10*time.Second)
+	for _, n := range nodes {
+		id := n.cfg.Identity.ID
+		gotOld, gotNew := false, false
+		for _, d := range h.delivered[id] {
+			gotOld = gotOld || d == "old-broadcast"
+			gotNew = gotNew || d == "new-broadcast"
+		}
+		if !gotOld || !gotNew {
+			t.Fatalf("node %v delivered old=%v new=%v, want both", id, gotOld, gotNew)
+		}
+	}
+	if len(raws) != 2 || raws[0] != 10 || raws[1] != 11 {
+		t.Fatalf("raw sequence = %v, want [10 11]", raws)
+	}
+}
+
+// TestBroadcastTTLShedsOriginShareOnly: a TTL'd broadcast drops the origin
+// node's own (stale) first-hop gossip items at flush time — visible in its
+// egress stats — but cannot cost delivery: the broadcast is already
+// committed to the origin vgroup, whose other members forward their shares
+// with default options.
+func TestBroadcastTTLShedsOriginShareOnly(t *testing.T) {
+	h := newHarness(t, smr.ModeSync, 4, nil)
+	// Enough nodes for at least two vgroups (GMax 6), so first-hop gossip
+	// items actually exist.
+	nodes := h.bootstrapSystem(smr.ModeSync, 10, 30*time.Second)
+	h.net.Run(h.net.Now() + 2*time.Second)
+	groups := h.groupsOf()
+	if len(groups) < 2 {
+		t.Skipf("system did not split (%d group(s)); nothing to forward to", len(groups))
+	}
+	origin := nodes[0]
+	if err := origin.BroadcastWith([]byte("stale-by-ttl"), BroadcastOpts{
+		Priority: PriorityBulk, TTL: time.Nanosecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.net.Run(h.net.Now() + 15*time.Second)
+	for _, n := range nodes {
+		if n.IsMember() {
+			found := false
+			for _, d := range h.delivered[n.cfg.Identity.ID] {
+				found = found || d == "stale-by-ttl"
+			}
+			if !found {
+				t.Fatalf("node %v missed the TTL'd broadcast: origin-side TTL must never cost delivery", n.cfg.Identity.ID)
+			}
+		}
+	}
+	if got := origin.EgressStats().DroppedExpired; got == 0 {
+		t.Fatal("origin egress recorded no expired drops; the TTL never applied")
+	}
+}
+
+// TestPressureHookAndEgressStatsFromNode drives the full engine plumbing:
+// a raw flood toward one destination under a small EgressQueueLimit must
+// raise OnEgressPressure through the node's callbacks, surface
+// depth/drops in Node.EgressStats, keep depth bounded — and drain back to
+// Low when the flood stops.
+func TestPressureHookAndEgressStatsFromNode(t *testing.T) {
+	registerEgressTestMsg()
+	const limit = 16
+	var transitions []PressureLevel
+	h := newHarness(t, smr.ModeSync, 5, func(cfg *Config) {
+		cfg.EgressQueueLimit = limit
+		cfg.Callbacks.OnEgressPressure = func(_ ids.NodeID, level PressureLevel) {
+			transitions = append(transitions, level)
+		}
+	})
+	nodes := h.bootstrapSystem(smr.ModeSync, 2, 20*time.Second)
+	sender, to := nodes[0], nodes[1].cfg.Identity.ID
+
+	overflows := 0
+	for i := 0; i < 3*limit; i++ {
+		err := sender.SendRawWith(to, egressTestMsg{Seq: uint64(i), Body: []byte("x")},
+			SendOpts{Priority: PriorityBulk})
+		if errors.Is(err, ErrEgressOverflow) {
+			overflows++
+		}
+	}
+	if overflows == 0 {
+		t.Fatal("flood past the queue limit produced no ErrEgressOverflow")
+	}
+	if len(transitions) == 0 || transitions[0] != PressureHigh {
+		t.Fatalf("pressure transitions = %v, want High first", transitions)
+	}
+	st := sender.EgressStats()
+	var dest *EgressDestStats
+	for i := range st.Dests {
+		if st.Dests[i].Node == to {
+			dest = &st.Dests[i]
+		}
+	}
+	if dest == nil {
+		t.Fatalf("EgressStats has no entry for %v: %+v", to, st)
+	}
+	if dest.Depth > limit {
+		t.Fatalf("queue depth %d exceeds EgressQueueLimit %d", dest.Depth, limit)
+	}
+	if dest.DroppedOverflow == 0 || dest.Level == PressureLow {
+		t.Fatalf("dest stats = %+v, want overflow drops and a raised level", dest)
+	}
+	// Stop the flood; the paced drain empties the queue and the hook must
+	// report recovery (hysteresis exit to Low).
+	h.net.Run(h.net.Now() + 2*time.Second)
+	if last := transitions[len(transitions)-1]; last != PressureLow {
+		t.Fatalf("transitions after drain = %v, want trailing Low", transitions)
+	}
+	if d, _ := sender.egress.Pending(); d != 0 {
+		t.Fatalf("egress still holds %d destination queues after drain", d)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"atum/internal/crypto"
+	"atum/internal/egress"
 	"atum/internal/group"
 	"atum/internal/ids"
 	"atum/internal/overlay"
@@ -12,8 +13,18 @@ import (
 // Broadcast disseminates a message to every node in the system (§3.3.4).
 // Phase one is Byzantine agreement inside the caller's vgroup (the bcastOp
 // below); phase two is gossip over the H-graph, shaped by the application's
-// Forward callback.
+// Forward callback. It is BroadcastWith with default options, kept as the
+// paper's zero-option signature.
 func (n *Node) Broadcast(data []byte) error {
+	return n.BroadcastWith(data, BroadcastOpts{})
+}
+
+// BroadcastWith is Broadcast with flow-control options: a priority class and
+// an optional TTL for the origin's first-hop egress enqueues (remote
+// forwarders use defaults — see BroadcastOpts). Nothing in the wire format
+// changes; the options only shape how the origin's egress scheduler treats
+// this broadcast's gossip items.
+func (n *Node) BroadcastWith(data []byte, opts BroadcastOpts) error {
 	if n.phase != phaseMember || n.st == nil {
 		return ErrNotMember
 	}
@@ -25,8 +36,43 @@ func (n *Node) Broadcast(data []byte) error {
 	id = crypto.HashUint64(id, uint64(n.cfg.Identity.ID))
 	id = crypto.HashUint64(id, n.opSeq)
 	id = crypto.Hash(id[:], data)
+	if opts != (BroadcastOpts{}) {
+		n.rememberBcastOpts(id, opts)
+	}
 	n.proposeOp(bcastOp{BcastID: id, Origin: n.cfg.Identity.ID, Data: data})
 	return nil
+}
+
+// maxBcastOpts bounds the pending-options map: entries are consumed when the
+// broadcast's op commits and applies locally; a node whose proposals never
+// commit (departure mid-broadcast) must not leak them.
+const maxBcastOpts = 1024
+
+// rememberBcastOpts stashes the origin-side options until the bcastOp
+// commits (applyBcast consumes them).
+func (n *Node) rememberBcastOpts(id crypto.Digest, opts BroadcastOpts) {
+	if n.bcastOpts == nil {
+		n.bcastOpts = make(map[crypto.Digest]BroadcastOpts)
+	}
+	if _, ok := n.bcastOpts[id]; !ok {
+		n.bcastOptsQ = append(n.bcastOptsQ, id)
+		if len(n.bcastOptsQ) > maxBcastOpts {
+			drop := n.bcastOptsQ[0]
+			n.bcastOptsQ = n.bcastOptsQ[1:]
+			delete(n.bcastOpts, drop)
+		}
+	}
+	n.bcastOpts[id] = opts
+}
+
+// takeBcastOpts consumes the origin-side options for a committed broadcast
+// (zero for remote origins and default-option sends).
+func (n *Node) takeBcastOpts(id crypto.Digest) BroadcastOpts {
+	opts, ok := n.bcastOpts[id]
+	if ok {
+		delete(n.bcastOpts, id)
+	}
+	return opts
 }
 
 // applyBcast delivers a committed broadcast inside the origin vgroup and
@@ -35,11 +81,12 @@ func (n *Node) applyBcast(o bcastOp) {
 	if !n.markSeen(o.BcastID) {
 		return
 	}
+	opts := n.takeBcastOpts(o.BcastID)
 	d := Delivery{BcastID: o.BcastID, Origin: o.Origin, Data: o.Data, Hops: 0}
 	if n.cfg.Callbacks.Deliver != nil {
 		n.cfg.Callbacks.Deliver(d)
 	}
-	n.forwardGossip(d)
+	n.forwardGossipWith(d, opts)
 }
 
 // handleGossip processes one gossip hop accepted from a neighboring vgroup.
@@ -54,21 +101,30 @@ func (n *Node) handleGossip(acc group.Accepted, p gossipPayload) {
 	if n.cfg.Callbacks.Deliver != nil {
 		n.cfg.Callbacks.Deliver(d)
 	}
-	n.forwardGossip(d)
+	n.forwardGossipWith(d, BroadcastOpts{})
 }
 
-// forwardGossip offers every overlay link to the Forward callback and queues
-// this member's share of the chosen group messages on the egress scheduler.
-// The default (nil callback) floods all cycles in both directions, which is
-// the latency-optimal configuration the paper's ASub experiments use;
-// AStream restricts forwarding to one or two cycles (§6.3). The Forward
-// decision is always taken here, per broadcast per link — the scheduler
-// changes only how the chosen sends are framed, never which sends are
-// chosen. All per-destination queueing lives in internal/egress.
-func (n *Node) forwardGossip(d Delivery) {
+// forwardGossip is forwardGossipWith at default options (remote hops and
+// plain Broadcast).
+func (n *Node) forwardGossip(d Delivery) { n.forwardGossipWith(d, BroadcastOpts{}) }
+
+// forwardGossipWith offers every overlay link to the Forward callback and
+// queues this member's share of the chosen group messages on the egress
+// scheduler. The default (nil callback) floods all cycles in both
+// directions, which is the latency-optimal configuration the paper's ASub
+// experiments use; AStream restricts forwarding to one or two cycles (§6.3).
+// The Forward decision is always taken here, per broadcast per link — the
+// scheduler changes only how the chosen sends are framed, never which sends
+// are chosen. All per-destination queueing lives in internal/egress. opts
+// carries the origin's flow-control options (zero at remote hops).
+func (n *Node) forwardGossipWith(d Delivery, opts BroadcastOpts) {
 	st := n.st
 	if st == nil {
 		return
+	}
+	var expires time.Duration
+	if opts.TTL > 0 {
+		expires = n.env.Now() + opts.TTL
 	}
 	payload := n.encPayload(gossipPayload{BcastID: d.BcastID, Origin: d.Origin, Data: d.Data, Hops: d.Hops + 1})
 	sent := make(map[group.Key]bool)
@@ -84,7 +140,8 @@ func (n *Node) forwardGossip(d Delivery) {
 			}
 			sent[nbr.Key()] = true
 			msgID := gossipMsgID(d.BcastID, st.comp, nbr.GroupID)
-			n.sendViaEgress(st.comp, nbr, kindGossip, msgID, payload)
+			n.sendViaEgressWith(st.comp, nbr, kindGossip, msgID, payload,
+				egress.Class(opts.Priority), expires)
 		}
 	}
 }

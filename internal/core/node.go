@@ -98,6 +98,11 @@ type Node struct {
 	seen  map[crypto.Digest]bool
 	seenQ []crypto.Digest
 
+	// bcastOpts holds BroadcastWith options from proposal until the bcastOp
+	// commits and applies (consumed in applyBcast; bounded FIFO).
+	bcastOpts  map[crypto.Digest]BroadcastOpts
+	bcastOptsQ []crypto.Digest
+
 	join           *joinContext
 	awaitDeadline  time.Duration // phaseAwaitSnapshot orphan recovery
 	expectSnapshot map[ids.GroupID]bool
@@ -337,9 +342,25 @@ func (n *Node) routeGroupMsg(from ids.NodeID, m group.GroupMsg) {
 // concurrent sends to the same node coalesce into batch carriers, and
 // byte-level transports frame them through the wire codec instead of the
 // gob fallback. Unregistered types are sent directly, as before.
-func (n *Node) SendRaw(to ids.NodeID, msg any) {
+//
+// SendRaw reports failures instead of silently dropping: ErrNotRunning when
+// the node is not attached to a running runtime, ErrEgressOverflow when the
+// destination's bounded egress queue rejected the message (flow control —
+// see Config.EgressQueueLimit), and ErrUnregisteredType when
+// Config.RequireRawCodec is set and the type has no wire codec. It is
+// SendRawWith with default options; callers that predate the typed-error
+// contract may keep ignoring the result.
+func (n *Node) SendRaw(to ids.NodeID, msg any) error {
+	return n.SendRawWith(to, msg, SendOpts{})
+}
+
+// SendRawWith is SendRaw with flow-control options: a priority class
+// (overflow on the destination's bounded queue sheds lower-priority items
+// first) and an optional TTL bounding how long the message may wait in the
+// sender's egress queue before it is dropped as stale.
+func (n *Node) SendRawWith(to ids.NodeID, msg any, opts SendOpts) error {
 	if n.env == nil || n.stopped {
-		return
+		return ErrNotRunning
 	}
 	if n.cfg.GossipMaxBatch > 1 && !n.cfg.EgressGossipOnly {
 		if payload, ok := encodeRawWire(msg); ok {
@@ -347,14 +368,28 @@ func (n *Node) SendRaw(to ids.NodeID, msg any) {
 			if n.st != nil {
 				src = n.st.comp
 			}
+			var expires time.Duration
+			if opts.TTL > 0 {
+				expires = n.env.Now() + opts.TTL
+			}
 			// MsgID is the payload digest by construction, so the v2 batch
 			// frame omits it (DerivedID) and the receiver re-derives it.
-			n.egress.EnqueueNode(src, to,
-				group.BatchItem{Kind: kindRaw, MsgID: crypto.Hash(payload), Payload: payload, DerivedID: true})
-			return
+			err := n.egress.EnqueueNodeWith(src, to,
+				group.BatchItem{Kind: kindRaw, MsgID: crypto.Hash(payload), Payload: payload, DerivedID: true},
+				egress.Class(opts.Priority), expires)
+			if err != nil {
+				return ErrEgressOverflow
+			}
+			return nil
 		}
+		if n.cfg.RequireRawCodec {
+			return ErrUnregisteredType
+		}
+	} else if n.cfg.RequireRawCodec && !rawRegistered(msg) {
+		return ErrUnregisteredType
 	}
 	n.sendNow(to, msg)
+	return nil
 }
 
 // SetBehavior switches the node's behaviour (experiment fault injection;
@@ -389,9 +424,12 @@ func (n *Node) handleTick() {
 	n.env.SetTimer(n.cfg.RoundDuration, tickTimer{})
 
 	// The lockstep round is the ModeSync batching window: frame pending
-	// egress batches first so they depart with this round's quantized flush.
+	// deferred egress batches first so they depart with this round's
+	// quantized flush. Windowed and paced queues (node-addressed raw
+	// traffic) keep their own timers — draining them here would bypass the
+	// flow-control pacing.
 	if n.cfg.Mode == smr.ModeSync {
-		n.egress.FlushAll()
+		n.egress.FlushDeferred()
 	}
 
 	// Flush round-quantized group messages (synchronous mode: one overlay

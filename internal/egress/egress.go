@@ -31,38 +31,166 @@
 //     a few more arrivals, never wider than the configured cap.
 //
 // Queues opened with deferred=true skip the window machinery entirely and
-// wait for the next FlushAll (the synchronous engine's round tick — sends
-// are round-quantized there, so timers would buy nothing); size caps still
-// force early flushes.
+// wait for the next FlushDeferred/FlushAll (the synchronous engine's round
+// tick — sends are round-quantized there, so timers would buy nothing); size
+// caps still force early flushes.
+//
+// # Flow control
+//
+// Node-addressed queues (application raw traffic) are additionally
+// flow-controlled when Config.Limit is set:
+//
+//   - the drain is paced: one carrier of at most MaxBatch items (MaxBytes
+//     bytes) leaves per adaptive window, so a flood cannot dump an unbounded
+//     burst onto the transport — excess items wait in the queue;
+//   - the queue is bounded (Limit items, LimitBytes payload bytes): overflow
+//     evicts the oldest queued item of a strictly lower-priority Class, or,
+//     when no such victim exists, rejects the new item with ErrOverflow;
+//   - items carry an optional expiry: stale items are dropped at flush time
+//     (DroppedExpired), never transmitted;
+//   - queue depth drives a hysteresis-based pressure level per destination
+//     (Low/High/Critical, distinct enter/exit thresholds so the signal does
+//     not flap); transitions fire Config.OnPressure, and Snapshot exposes
+//     per-destination depth, arrival gap, and drop counters.
+//
+// Group-addressed queues are never bounded or paced: they carry protocol
+// traffic (agreement-backed group messages) whose loss the engine cannot
+// tolerate; only the expiry check applies to them (callers attach expiries
+// to application-chosen broadcasts, not to engine kinds). FlushAll drains
+// everything, bounds and pacing included — correctness before flow control.
 //
 // The scheduler is not goroutine-safe: like the rest of the engine it runs
 // inside one actor's event loop.
 package egress
 
 import (
+	"errors"
+	"sort"
 	"time"
 
 	"atum/internal/group"
 	"atum/internal/ids"
 )
 
+// Class is an item's priority class: lower values are more important.
+// Overflow on a bounded node queue evicts strictly lower-priority (higher
+// Class) items first; equal-priority traffic is rejected at the tail.
+type Class uint8
+
+// Priority classes.
+const (
+	// ClassControl is protocol-critical traffic (engine kinds, application
+	// request/reply handshakes); never evicted in favor of data.
+	ClassControl Class = iota
+	// ClassData is ordinary application payload traffic.
+	ClassData
+	// ClassBulk is best-effort bulk traffic (streaming floods, speculative
+	// forwards): first to be shed under pressure.
+	ClassBulk
+)
+
+// Level is a destination's flow-control pressure level, derived from its
+// queue depth with hysteresis (see PressureThresholds).
+type Level int
+
+// Pressure levels.
+const (
+	LevelLow Level = iota
+	LevelHigh
+	LevelCritical
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelHigh:
+		return "high"
+	case LevelCritical:
+		return "critical"
+	default:
+		return "low"
+	}
+}
+
+// PressureThresholds returns the hysteresis thresholds for a queue-depth
+// limit: High is entered at depth ≥ enterHigh (limit/2) and left at depth <
+// exitHigh (limit/4); Critical is entered at depth ≥ enterCrit (7·limit/8)
+// and left at depth < exitCrit (5·limit/8). Distinct enter/exit bounds keep
+// the level from flapping around a threshold. Every threshold is floored at
+// 1 (and the Critical pair at the High pair) so degenerate limits still
+// behave: an empty queue is always Low, and levels raised under a tiny
+// limit can always be exited.
+func PressureThresholds(limit int) (enterHigh, exitHigh, enterCrit, exitCrit int) {
+	enterHigh = max(limit/2, 1)
+	exitHigh = max(limit/4, 1)
+	enterCrit = max(limit-limit/8, enterHigh)
+	exitCrit = max(limit-3*(limit/8), exitHigh)
+	return
+}
+
+// nextLevel applies the hysteresis transition function.
+func nextLevel(cur Level, depth, limit int) Level {
+	enterHigh, exitHigh, enterCrit, exitCrit := PressureThresholds(limit)
+	switch cur {
+	case LevelCritical:
+		if depth < exitHigh {
+			return LevelLow
+		}
+		if depth < exitCrit {
+			return LevelHigh
+		}
+		return LevelCritical
+	case LevelHigh:
+		if depth >= enterCrit {
+			return LevelCritical
+		}
+		if depth < exitHigh {
+			return LevelLow
+		}
+		return LevelHigh
+	default:
+		if depth >= enterCrit {
+			return LevelCritical
+		}
+		if depth >= enterHigh {
+			return LevelHigh
+		}
+		return LevelLow
+	}
+}
+
+// ErrOverflow reports that a bounded destination queue was full and held no
+// lower-priority victim to evict: the item was dropped at the sender.
+var ErrOverflow = errors.New("egress: destination queue full")
+
 // Config wires a Scheduler to its owner.
 type Config struct {
-	// MaxBatch caps the items coalesced per destination; the cap'th item
-	// forces a flush. Values <= 1 disable queueing entirely: every item is
-	// transmitted immediately (the legacy unbatched path).
+	// MaxBatch caps the items coalesced per carrier; on unbounded queues the
+	// cap'th item forces a flush. Values <= 1 disable queueing entirely:
+	// every item is transmitted immediately (the legacy unbatched path).
 	MaxBatch int
-	// MaxBytes caps a destination's pending payload bytes (incl. per-item
-	// framing); exceeding it forces a flush.
+	// MaxBytes caps a carrier's pending payload bytes (incl. per-item
+	// framing); exceeding it forces a flush on unbounded queues.
 	MaxBytes int
 	// MaxWindow caps the adaptive flush window.
 	MaxWindow time.Duration
+	// Limit bounds a node-addressed destination's queued items and turns on
+	// the paced drain + pressure machinery. <= 0 disables flow control:
+	// node queues behave exactly like group queues (flush when full).
+	Limit int
+	// LimitBytes bounds a node-addressed destination's queued payload bytes
+	// (incl. per-item framing). <= 0: no byte bound.
+	LimitBytes int
 	// Now returns the owner's clock.
 	Now func() time.Duration
 	// Arm asks the owner to call OnTimer after the given delay. The
 	// scheduler tracks its earliest pending deadline and re-arms as needed;
 	// spurious OnTimer calls are harmless.
 	Arm func(delay time.Duration)
+	// OnPressure, when set, observes pressure-level transitions of
+	// node-addressed destinations. It runs inside enqueue/flush — it must
+	// not re-enter the scheduler.
+	OnPressure func(node ids.NodeID, level Level)
 	// Flush transmits one destination's batch. node is nonzero for
 	// node-addressed destinations (dst is then the zero Composition); src is
 	// the source composition captured when the batch was opened.
@@ -77,10 +205,24 @@ type Config struct {
 
 // Stats counts scheduler activity (tests and experiments).
 type Stats struct {
-	Enqueued  uint64 // items accepted
-	Immediate uint64 // items transmitted without queueing (idle fast path)
-	Flushes   uint64 // queued batches transmitted
-	Items     uint64 // items transmitted through queued batches
+	Enqueued        uint64 // items accepted
+	Immediate       uint64 // items transmitted without queueing (idle fast path)
+	Flushes         uint64 // queued batches transmitted
+	Items           uint64 // items transmitted through queued batches
+	DroppedOverflow uint64 // items dropped because a bounded queue was full
+	DroppedExpired  uint64 // items dropped at flush because their expiry passed
+}
+
+// DestStats is one node-addressed destination's flow-control snapshot.
+type DestStats struct {
+	Node            ids.NodeID
+	Depth           int           // items currently queued
+	Bytes           int           // queued payload bytes (incl. framing)
+	Gap             time.Duration // smoothed inter-arrival gap
+	Level           Level
+	Flushes         uint64
+	DroppedOverflow uint64
+	DroppedExpired  uint64
 }
 
 // destKey identifies one destination: a vgroup (composition key) or a node.
@@ -89,21 +231,39 @@ type destKey struct {
 	node ids.NodeID
 }
 
+// itemMeta is the flow-control metadata of one queued item (parallel to
+// pending.items; kept out of group.BatchItem so classes and expiries never
+// leak into wire frames).
+type itemMeta struct {
+	class   Class
+	expires time.Duration // 0: never
+}
+
 // pending is one destination's open batch.
 type pending struct {
 	src      group.Composition
 	dst      group.Composition
 	node     ids.NodeID
 	items    []group.BatchItem
+	meta     []itemMeta
 	bytes    int
-	deadline time.Duration // 0: deferred to the next FlushAll
+	deadline time.Duration // 0: deferred to the next FlushDeferred/FlushAll
 }
 
-// arrival is one destination's rate estimate; it survives across flushes.
+// arrival is one destination's rate estimate and flow-control state; it
+// survives across flushes.
 type arrival struct {
 	seen   bool
 	lastAt time.Duration
 	gap    time.Duration // smoothed inter-arrival gap (fast attack, slow decay)
+	// nextAt is the earliest next paced flush (node destinations under flow
+	// control): a full carrier leaves at most once per adaptive window.
+	nextAt time.Duration
+	level  Level
+	// per-destination counters surfaced through Snapshot.
+	flushes  uint64
+	dropOver uint64
+	dropExp  uint64
 }
 
 // maxArrivalEntries bounds the rate-estimate map; overflow evicts stale
@@ -142,22 +302,65 @@ func New(cfg Config) *Scheduler {
 	}
 }
 
+// SetLimits changes the flow-control bounds at runtime (the experiment
+// harness toggles them after cluster growth so the paced and unpaced
+// configurations share one identical growth history). Disabling flow
+// control (limit <= 0) releases every raised pressure level: updatePressure
+// no longer runs for unbounded queues, so without the explicit Low
+// transitions here, applications would keep shedding toward destinations
+// whose High/Critical state can never clear.
+func (s *Scheduler) SetLimits(limit, limitBytes int) {
+	s.cfg.Limit, s.cfg.LimitBytes = limit, limitBytes
+	if limit > 0 {
+		return
+	}
+	for k, a := range s.arr {
+		if k.node != 0 && a.level != LevelLow {
+			a.level = LevelLow
+			if s.cfg.OnPressure != nil {
+				s.cfg.OnPressure(k.node, LevelLow)
+			}
+		}
+	}
+}
+
 // EnqueueGroup queues one logical message for every member of dst.
-// deferred batches wait for the next FlushAll instead of an adaptive window
-// (the synchronous engine's round-quantized sends).
+// deferred batches wait for the next FlushDeferred/FlushAll instead of an
+// adaptive window (the synchronous engine's round-quantized sends).
 func (s *Scheduler) EnqueueGroup(src, dst group.Composition, it group.BatchItem, deferred bool) {
-	s.enqueue(destKey{grp: dst.Key()}, src, dst, 0, it, deferred)
+	s.enqueue(destKey{grp: dst.Key()}, src, dst, 0, it, deferred, itemMeta{})
 }
 
-// EnqueueNode queues one raw item for a single node.
-func (s *Scheduler) EnqueueNode(src group.Composition, to ids.NodeID, it group.BatchItem) {
-	s.enqueue(destKey{node: to}, src, group.Composition{}, to, it, false)
+// EnqueueGroupWith is EnqueueGroup with an explicit priority class and
+// absolute expiry (0 = never): stale items are dropped at flush time.
+func (s *Scheduler) EnqueueGroupWith(src, dst group.Composition, it group.BatchItem, deferred bool, class Class, expires time.Duration) {
+	s.enqueue(destKey{grp: dst.Key()}, src, dst, 0, it, deferred, itemMeta{class: class, expires: expires})
 }
 
-func (s *Scheduler) enqueue(k destKey, src, dst group.Composition, node ids.NodeID, it group.BatchItem, deferred bool) {
+// EnqueueNode queues one raw item for a single node with default metadata
+// (ClassControl, no expiry).
+func (s *Scheduler) EnqueueNode(src group.Composition, to ids.NodeID, it group.BatchItem) error {
+	return s.EnqueueNodeWith(src, to, it, ClassControl, 0)
+}
+
+// EnqueueNodeWith queues one raw item for a single node. Under flow control
+// (Config.Limit > 0) it returns ErrOverflow when the destination queue is
+// full and no lower-priority victim could be evicted — the item was not
+// queued.
+func (s *Scheduler) EnqueueNodeWith(src group.Composition, to ids.NodeID, it group.BatchItem, class Class, expires time.Duration) error {
+	return s.enqueue(destKey{node: to}, src, group.Composition{}, to, it, false, itemMeta{class: class, expires: expires})
+}
+
+// bounded reports whether k is under flow control.
+func (s *Scheduler) bounded(k destKey) bool {
+	return k.node != 0 && s.cfg.Limit > 0 && s.cfg.MaxBatch > 1
+}
+
+func (s *Scheduler) enqueue(k destKey, src, dst group.Composition, node ids.NodeID, it group.BatchItem, deferred bool, meta itemMeta) error {
 	s.stats.Enqueued++
 	now := s.now()
 	window := s.observe(k, now)
+	bounded := s.bounded(k)
 	q := s.pend[k]
 	if q != nil && (q.src.GroupID != src.GroupID || q.src.Epoch != src.Epoch) {
 		// The source composition changed under the open batch (epoch bump,
@@ -166,7 +369,9 @@ func (s *Scheduler) enqueue(k destKey, src, dst group.Composition, node ids.Node
 		q = nil
 	}
 	if q == nil {
-		if s.cfg.MaxBatch <= 1 || (!deferred && window <= 0) {
+		a := s.arr[k]
+		paceHold := bounded && a != nil && a.nextAt > now
+		if s.cfg.MaxBatch <= 1 || (!deferred && window <= 0 && !paceHold) {
 			// Batching disabled, or the destination is idle: transmit now so
 			// low-rate traffic pays no window latency. The scratch slice is
 			// reused per call — Flush must not retain it (see Config.Flush).
@@ -174,21 +379,123 @@ func (s *Scheduler) enqueue(k destKey, src, dst group.Composition, node ids.Node
 			s.single[0] = it
 			s.cfg.Flush(src, dst, node, s.single[:])
 			s.single[0] = group.BatchItem{}
-			return
+			return nil
 		}
 		q = s.newPending(src, dst, node)
 		if !deferred {
 			q.deadline = now + window
+			if paceHold && a.nextAt > q.deadline {
+				q.deadline = a.nextAt
+			}
 			s.arm(q.deadline)
 		}
 		s.pend[k] = q
 		s.order = append(s.order, k)
 	}
+	if bounded {
+		sz := len(it.Payload) + group.BatchWireOverhead
+		// Dead items must not hold slots against live ones: purge expired
+		// entries before deciding to evict or reject (they would be
+		// discarded at the next flush anyway).
+		if s.overLimit(q, sz) {
+			s.dropExpired(k, q, now)
+		}
+		// An item that cannot fit even an empty queue is rejected outright —
+		// evicting the whole queue for it would shed admitted traffic for
+		// nothing.
+		reject := s.cfg.LimitBytes > 0 && sz > s.cfg.LimitBytes
+		// Otherwise evict lower-priority victims until BOTH the item and the
+		// byte bound hold (one victim may free far fewer bytes than the
+		// newcomer needs).
+		for !reject && s.overLimit(q, sz) {
+			if !s.evictFor(k, q, meta.class) {
+				reject = true // no lower-priority victim: the new item is the drop
+			}
+		}
+		if reject {
+			s.stats.DroppedOverflow++
+			if a := s.arr[k]; a != nil {
+				a.dropOver++
+			}
+			s.updatePressure(k)
+			return ErrOverflow
+		}
+	}
 	q.items = append(q.items, it)
+	q.meta = append(q.meta, meta)
 	q.bytes += len(it.Payload) + group.BatchWireOverhead
 	if len(q.items) >= s.cfg.MaxBatch || q.bytes >= s.cfg.MaxBytes {
-		s.flushKey(k)
+		if bounded {
+			// Paced drain: a full carrier leaves at most once per window;
+			// excess items wait (bounded by Limit above).
+			if a := s.arr[k]; a == nil || a.nextAt <= now {
+				s.pacedFlush(k, now)
+			}
+		} else {
+			s.flushKey(k)
+		}
 	}
+	s.updatePressure(k)
+	return nil
+}
+
+// overLimit reports whether admitting extra bytes would exceed the queue
+// bounds.
+func (s *Scheduler) overLimit(q *pending, extra int) bool {
+	if len(q.items) >= s.cfg.Limit {
+		return true
+	}
+	return s.cfg.LimitBytes > 0 && q.bytes+extra > s.cfg.LimitBytes
+}
+
+// evictFor drops the oldest queued item whose class is strictly lower
+// priority (greater value) than class, making room for a more important
+// item. Returns false when no such victim exists.
+func (s *Scheduler) evictFor(k destKey, q *pending, class Class) bool {
+	victim, worst := -1, class
+	for i, m := range q.meta {
+		if m.class > worst {
+			victim, worst = i, m.class
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	q.bytes -= len(q.items[victim].Payload) + group.BatchWireOverhead
+	copy(q.items[victim:], q.items[victim+1:])
+	q.items[len(q.items)-1] = group.BatchItem{}
+	q.items = q.items[:len(q.items)-1]
+	copy(q.meta[victim:], q.meta[victim+1:])
+	q.meta = q.meta[:len(q.meta)-1]
+	s.stats.DroppedOverflow++
+	if a := s.arr[k]; a != nil {
+		a.dropOver++
+	}
+	return true
+}
+
+// dropExpired removes items whose expiry has passed (in place, order
+// preserved).
+func (s *Scheduler) dropExpired(k destKey, q *pending, now time.Duration) {
+	kept := 0
+	for i := range q.items {
+		if e := q.meta[i].expires; e != 0 && e <= now {
+			q.bytes -= len(q.items[i].Payload) + group.BatchWireOverhead
+			s.stats.DroppedExpired++
+			if a := s.arr[k]; a != nil {
+				a.dropExp++
+			}
+			continue
+		}
+		if kept != i {
+			q.items[kept], q.meta[kept] = q.items[i], q.meta[i]
+		}
+		kept++
+	}
+	for i := kept; i < len(q.items); i++ {
+		q.items[i] = group.BatchItem{}
+	}
+	q.items, q.meta = q.items[:kept], q.meta[:kept]
 }
 
 // observe updates the destination's arrival estimate and returns the flush
@@ -217,11 +524,16 @@ func (s *Scheduler) observe(k destKey, now time.Duration) time.Duration {
 	} else {
 		a.gap = (3*a.gap + gap) / 4 // slow decay back toward idle
 	}
+	return s.windowFromGap(a.gap)
+}
+
+// windowFromGap derives the flush window from a smoothed inter-arrival gap.
+func (s *Scheduler) windowFromGap(gap time.Duration) time.Duration {
 	maxW := s.cfg.MaxWindow
-	if maxW <= 0 || a.gap > maxW/4 {
+	if maxW <= 0 || gap > maxW/4 {
 		return 0 // idle or near-idle: not worth a window for <2 extra items
 	}
-	w := time.Duration(float64(maxW) * float64(maxW) / (16 * float64(a.gap)))
+	w := time.Duration(float64(maxW) * float64(maxW) / (16 * float64(gap)))
 	if w > maxW {
 		w = maxW
 	}
@@ -249,12 +561,26 @@ func (s *Scheduler) pruneArrivals(now time.Duration) {
 	}
 }
 
-// FlushAll transmits every pending batch, in first-enqueue order. The engine
-// calls it at round ticks (synchronous mode) and before every replicated-
-// state replacement.
+// FlushAll transmits every pending batch, in first-enqueue order, backlogs
+// included — flow-control pacing does not apply. The engine calls it before
+// every replicated-state replacement and at shutdown.
 func (s *Scheduler) FlushAll() {
 	for len(s.order) > 0 {
 		s.flushKey(s.order[0])
+	}
+}
+
+// FlushDeferred transmits every deferred batch (the ones waiting for the
+// synchronous engine's round tick), leaving windowed and paced queues to
+// their timers. The engine calls it at every round tick.
+func (s *Scheduler) FlushDeferred() {
+	for i := 0; i < len(s.order); {
+		k := s.order[i]
+		if q := s.pend[k]; q != nil && q.deadline == 0 {
+			s.flushKey(k) // removes order[i]; re-examine the same index
+			continue
+		}
+		i++
 	}
 }
 
@@ -270,10 +596,14 @@ func (s *Scheduler) OnTimer() {
 		}
 	}
 	for _, k := range due {
-		s.flushKey(k)
+		if s.bounded(k) {
+			s.pacedFlush(k, now)
+		} else {
+			s.flushKey(k)
+		}
 	}
 	// Re-arm for the earliest remaining windowed batch (deferred batches wait
-	// for FlushAll).
+	// for FlushDeferred/FlushAll).
 	var next time.Duration
 	for _, k := range s.order {
 		if q := s.pend[k]; q != nil && q.deadline > 0 && (next == 0 || q.deadline < next) {
@@ -285,12 +615,107 @@ func (s *Scheduler) OnTimer() {
 	}
 }
 
-// flushKey transmits one destination's batch.
+// flushKey fully drains one destination's batch, splitting the backlog into
+// carrier-sized chunks (MaxBatch items / MaxBytes bytes each).
 func (s *Scheduler) flushKey(k destKey) {
 	q, ok := s.pend[k]
 	if !ok {
 		return
 	}
+	s.removeQueue(k)
+	s.dropExpired(k, q, s.now())
+	for len(q.items) > 0 {
+		n := s.carrierPrefix(q)
+		s.emit(k, q, n)
+		s.shift(q, n)
+	}
+	s.recycle(q)
+	s.updatePressure(k)
+}
+
+// pacedFlush emits at most one carrier for a flow-controlled node queue and
+// stamps the destination's next allowed flush one adaptive window ahead; the
+// remainder (if any) stays queued with its deadline moved to that stamp.
+func (s *Scheduler) pacedFlush(k destKey, now time.Duration) {
+	q, ok := s.pend[k]
+	if !ok {
+		return
+	}
+	s.dropExpired(k, q, now)
+	a := s.arr[k]
+	if len(q.items) == 0 {
+		s.removeQueue(k)
+		s.recycle(q)
+		s.updatePressure(k)
+		return
+	}
+	n := s.carrierPrefix(q)
+	s.emit(k, q, n)
+	s.shift(q, n)
+	var pace time.Duration
+	if a != nil {
+		pace = s.windowFromGap(a.gap)
+		a.nextAt = now + pace
+	}
+	if len(q.items) == 0 {
+		s.removeQueue(k)
+		s.recycle(q)
+	} else {
+		q.deadline = now + pace
+		s.arm(q.deadline)
+	}
+	s.updatePressure(k)
+}
+
+// carrierPrefix returns how many leading items form one carrier under the
+// MaxBatch and MaxBytes caps (always at least one; like the enqueue-time
+// trigger, MaxBytes is crossed by the item that exceeds it, not anticipated).
+func (s *Scheduler) carrierPrefix(q *pending) int {
+	n, bytes := 0, 0
+	for n < len(q.items) {
+		if n > 0 && n >= s.cfg.MaxBatch {
+			break
+		}
+		bytes += len(q.items[n].Payload) + group.BatchWireOverhead
+		n++
+		if s.cfg.MaxBytes > 0 && bytes >= s.cfg.MaxBytes {
+			break
+		}
+	}
+	return n
+}
+
+// emit transmits the first n queued items as one carrier.
+func (s *Scheduler) emit(k destKey, q *pending, n int) {
+	s.stats.Flushes++
+	s.stats.Items += uint64(n)
+	if a := s.arr[k]; a != nil {
+		a.flushes++
+	}
+	s.cfg.Flush(q.src, q.dst, q.node, q.items[:n])
+}
+
+// shift drops the first n items from the queue (transmitted), keeping the
+// backing arrays.
+func (s *Scheduler) shift(q *pending, n int) {
+	if n >= len(q.items) {
+		clear(q.items)
+		q.items, q.meta, q.bytes = q.items[:0], q.meta[:0], 0
+		return
+	}
+	for i := 0; i < n; i++ {
+		q.bytes -= len(q.items[i].Payload) + group.BatchWireOverhead
+	}
+	copy(q.items, q.items[n:])
+	copy(q.meta, q.meta[n:])
+	for i := len(q.items) - n; i < len(q.items); i++ {
+		q.items[i] = group.BatchItem{}
+	}
+	q.items, q.meta = q.items[:len(q.items)-n], q.meta[:len(q.meta)-n]
+}
+
+// removeQueue unlinks a destination's queue from the pending set and order.
+func (s *Scheduler) removeQueue(k destKey) {
 	delete(s.pend, k)
 	for i := range s.order {
 		if s.order[i] == k {
@@ -298,10 +723,29 @@ func (s *Scheduler) flushKey(k destKey) {
 			break
 		}
 	}
-	s.stats.Flushes++
-	s.stats.Items += uint64(len(q.items))
-	s.cfg.Flush(q.src, q.dst, q.node, q.items)
-	s.recycle(q)
+}
+
+// updatePressure recomputes a flow-controlled destination's pressure level
+// and fires OnPressure on transitions.
+func (s *Scheduler) updatePressure(k destKey) {
+	if !s.bounded(k) {
+		return
+	}
+	a := s.arr[k]
+	if a == nil {
+		return
+	}
+	depth := 0
+	if q := s.pend[k]; q != nil {
+		depth = len(q.items)
+	}
+	lvl := nextLevel(a.level, depth, s.cfg.Limit)
+	if lvl != a.level {
+		a.level = lvl
+		if s.cfg.OnPressure != nil {
+			s.cfg.OnPressure(k.node, lvl)
+		}
+	}
 }
 
 // newPending opens a destination batch, reusing a recycled struct (and its
@@ -324,7 +768,7 @@ func (s *Scheduler) recycle(q *pending) {
 		return
 	}
 	clear(q.items)
-	q.items = q.items[:0]
+	q.items, q.meta, q.bytes = q.items[:0], q.meta[:0], 0
 	q.src, q.dst = group.Composition{}, group.Composition{}
 	s.free = append(s.free, q)
 }
@@ -363,3 +807,29 @@ func (s *Scheduler) Pending() (dests, items int) {
 
 // Stats returns a snapshot of the scheduler counters.
 func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Snapshot returns the flow-control state of every tracked node-addressed
+// destination (sorted by node ID) plus the aggregate counters. The returned
+// slice is freshly allocated; callers own it.
+func (s *Scheduler) Snapshot() ([]DestStats, Stats) {
+	var out []DestStats
+	for k, a := range s.arr {
+		if k.node == 0 {
+			continue
+		}
+		d := DestStats{
+			Node:            k.node,
+			Gap:             a.gap,
+			Level:           a.level,
+			Flushes:         a.flushes,
+			DroppedOverflow: a.dropOver,
+			DroppedExpired:  a.dropExp,
+		}
+		if q := s.pend[k]; q != nil {
+			d.Depth, d.Bytes = len(q.items), q.bytes
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out, s.stats
+}

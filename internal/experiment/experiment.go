@@ -108,15 +108,25 @@ type cluster struct {
 	nodes     []*atum.Node
 	deliverAt map[atum.NodeID]map[string]time.Duration
 	events    map[atum.EventKind]int
+	// pressure records each node's latest egress pressure level per
+	// destination (OnEgressPressure transitions): pressure[sender][dest].
+	// The backpressure experiment paces its floods off it.
+	pressure map[atum.NodeID]map[atum.NodeID]atum.PressureLevel
 }
 
 func newCluster(mode smr.Mode, seed int64, net *simnet.Config, tweak func(*atum.Config)) *cluster {
 	cl := &cluster{
 		deliverAt: make(map[atum.NodeID]map[string]time.Duration),
 		events:    make(map[atum.EventKind]int),
+		pressure:  make(map[atum.NodeID]map[atum.NodeID]atum.PressureLevel),
 	}
 	cl.c = atum.NewSimCluster(atum.SimOptions{Seed: seed, Mode: mode, NetConfig: net, Tweak: tweak})
 	return cl
+}
+
+// levelToward returns the sender's latest pressure level toward dest.
+func (cl *cluster) levelToward(sender, dest atum.NodeID) atum.PressureLevel {
+	return cl.pressure[sender][dest]
 }
 
 func (cl *cluster) addNode(behavior atum.Behavior) *atum.Node {
@@ -132,6 +142,14 @@ func (cl *cluster) addNode(behavior atum.Behavior) *atum.Node {
 			m[string(d.Data)] = cl.c.Now()
 		},
 		OnEvent: func(ev atum.Event) { cl.events[ev.Kind]++ },
+		OnEgressPressure: func(dest atum.NodeID, level atum.PressureLevel) {
+			m, ok := cl.pressure[id]
+			if !ok {
+				m = make(map[atum.NodeID]atum.PressureLevel)
+				cl.pressure[id] = m
+			}
+			m[dest] = level
+		},
 	}
 	n = cl.c.AddNode(cb)
 	id = n.Identity().ID

@@ -81,6 +81,12 @@ type Config struct {
 	BandwidthUp int64
 	// BandwidthDown is each node's ingress rate in bytes/second (0 = infinite).
 	BandwidthDown int64
+	// TypeLabel, when set, overrides the per-message label used for the
+	// SentByType/DroppedByType maps (default: the %T type name). Return ""
+	// to keep the default. Experiments use it to split one Go type into
+	// traffic classes (e.g. node-addressed raw carriers vs group-addressed
+	// protocol carriers, both group.GroupMsg).
+	TypeLabel func(msg actor.Message) string
 	// Logf, when non-nil, receives debug logs from nodes and the simulator.
 	Logf func(format string, args ...any)
 }
@@ -90,13 +96,20 @@ type Config struct {
 type Stats struct {
 	Sent      int64 // messages submitted by nodes
 	Delivered int64 // messages delivered to live nodes
-	Dropped   int64 // lost, partitioned, or addressed to dead nodes
+	Dropped   int64 // lost, partitioned, overloaded, or addressed to dead nodes
 	BytesSent int64 // sum of wire sizes of sent messages
+	// DroppedOverload counts messages dropped by a slow consumer's full
+	// ingest buffer (SetIngestCap) — transport-level loss under overload,
+	// as opposed to probabilistic loss or partitions.
+	DroppedOverload int64
 	// SentByType counts sent messages by concrete Go type name
 	// (fmt.Sprintf("%T")), so experiments can attribute traffic to protocol
 	// layers — e.g. overlay-link traffic (group.GroupMsg, application raw
 	// types) vs intra-vgroup agreement (core.SMREnvelope).
 	SentByType map[string]int64
+	// DroppedByType counts every dropped message by concrete type name:
+	// where in the protocol the transport loss landed (drop placement).
+	DroppedByType map[string]int64
 }
 
 // Sub returns the difference s − before, field by field (counter snapshots
@@ -107,10 +120,17 @@ func (s Stats) Sub(before Stats) Stats {
 	out.Delivered -= before.Delivered
 	out.Dropped -= before.Dropped
 	out.BytesSent -= before.BytesSent
-	out.SentByType = make(map[string]int64, len(s.SentByType))
-	for k, v := range s.SentByType {
-		if d := v - before.SentByType[k]; d != 0 {
-			out.SentByType[k] = d
+	out.DroppedOverload -= before.DroppedOverload
+	out.SentByType = subByType(s.SentByType, before.SentByType)
+	out.DroppedByType = subByType(s.DroppedByType, before.DroppedByType)
+	return out
+}
+
+func subByType(cur, before map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(cur))
+	for k, v := range cur {
+		if d := v - before[k]; d != 0 {
+			out[k] = d
 		}
 	}
 	return out
@@ -164,6 +184,11 @@ type simNode struct {
 	alive   bool
 	egress  time.Duration // time the NIC egress queue drains
 	ingress time.Duration // time the NIC ingress queue drains
+	// Slow-consumer model (SetIngestCap): the node processes inRate bytes
+	// per second through a bounded inQueue-byte buffer; arrivals that would
+	// overflow the buffer are dropped (DroppedOverload). 0 = uncapped.
+	inRate  int64
+	inQueue int64
 }
 
 type event struct {
@@ -204,7 +229,19 @@ func New(cfg Config) *Network {
 		nodes:     make(map[ids.NodeID]*simNode),
 		partition: make(map[ids.NodeID]int),
 		typeNames: make(map[reflect.Type]string),
-		stats:     Stats{SentByType: make(map[string]int64)},
+		stats: Stats{SentByType: make(map[string]int64),
+			DroppedByType: make(map[string]int64)},
+	}
+}
+
+// SetIngestCap models a slow consumer: node id processes messages at
+// bytesPerSec through a bounded ingest buffer of queueBytes; messages
+// arriving when the buffer is full are dropped (transport-level overload
+// loss, counted in DroppedOverload and DroppedByType). Zero values remove
+// the cap. Applies from the next arrival; no-op for unknown nodes.
+func (n *Network) SetIngestCap(id ids.NodeID, bytesPerSec, queueBytes int64) {
+	if sn, ok := n.nodes[id]; ok {
+		sn.inRate, sn.inQueue = bytesPerSec, queueBytes
 	}
 }
 
@@ -218,6 +255,10 @@ func (n *Network) Stats() Stats {
 	out.SentByType = make(map[string]int64, len(n.stats.SentByType))
 	for k, v := range n.stats.SentByType {
 		out.SentByType[k] = v
+	}
+	out.DroppedByType = make(map[string]int64, len(n.stats.DroppedByType))
+	for k, v := range n.stats.DroppedByType {
+		out.DroppedByType[k] = v
 	}
 	return out
 }
@@ -357,15 +398,22 @@ func (n *Network) logf(format string, args ...any) {
 func (n *Network) send(from *simNode, to ids.NodeID, msg actor.Message) {
 	n.stats.Sent++
 	size := actor.SizeOf(msg)
+	tn := ""
+	if n.cfg.TypeLabel != nil {
+		tn = n.cfg.TypeLabel(msg)
+	}
+	if tn == "" {
+		tn = n.typeName(msg)
+	}
 	n.stats.BytesSent += int64(size)
-	n.stats.SentByType[n.typeName(msg)]++
+	n.stats.SentByType[tn]++
 
 	if n.partition[from.id] != n.partition[to] {
-		n.stats.Dropped++
+		n.drop(tn)
 		return
 	}
 	if n.cfg.LossProb > 0 && n.rng.Float64() < n.cfg.LossProb {
-		n.stats.Dropped++
+		n.drop(tn)
 		return
 	}
 
@@ -384,11 +432,26 @@ func (n *Network) send(from *simNode, to ids.NodeID, msg actor.Message) {
 	n.schedule(arrive-n.now, func() {
 		dst, ok := n.nodes[to]
 		if !ok || !dst.alive {
-			n.stats.Dropped++
+			n.drop(tn)
 			return
 		}
 		deliverAt := n.now
-		if n.cfg.BandwidthDown > 0 {
+		switch {
+		case dst.inRate > 0:
+			// Slow consumer (SetIngestCap): bounded ingest buffer draining
+			// at inRate; overflow is transport-level overload loss.
+			if dst.ingress < n.now {
+				dst.ingress = n.now
+			}
+			backlog := int64(dst.ingress-n.now) * dst.inRate / int64(time.Second)
+			if dst.inQueue > 0 && backlog+int64(size) > dst.inQueue {
+				n.drop(tn)
+				n.stats.DroppedOverload++
+				return
+			}
+			dst.ingress += byteTime(size, dst.inRate)
+			deliverAt = dst.ingress
+		case n.cfg.BandwidthDown > 0:
 			if dst.ingress < n.now {
 				dst.ingress = n.now
 			}
@@ -398,13 +461,19 @@ func (n *Network) send(from *simNode, to ids.NodeID, msg actor.Message) {
 		n.schedule(deliverAt-n.now, func() {
 			dst2, ok := n.nodes[to]
 			if !ok || !dst2.alive {
-				n.stats.Dropped++
+				n.drop(tn)
 				return
 			}
 			n.stats.Delivered++
 			dst2.node.Receive(from.id, msg)
 		})
 	})
+}
+
+// drop counts one dropped message of the given type name.
+func (n *Network) drop(typeName string) {
+	n.stats.Dropped++
+	n.stats.DroppedByType[typeName]++
 }
 
 func byteTime(size int, bytesPerSec int64) time.Duration {

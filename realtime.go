@@ -129,6 +129,32 @@ func (r *RealtimeRuntime) Broadcast(n *Node, data []byte) error {
 	return r.invoke(n, func() error { return n.inner.Broadcast(data) })
 }
 
+// BroadcastWith is Broadcast with flow-control options (docs/API.md).
+func (r *RealtimeRuntime) BroadcastWith(n *Node, data []byte, opts BroadcastOpts) error {
+	return r.invoke(n, func() error { return n.inner.BroadcastWith(data, opts) })
+}
+
+// SendRaw sends an application raw message from n, inside its event loop,
+// and returns the typed send result (ErrNotRunning, ErrEgressOverflow,
+// ErrUnregisteredType).
+func (r *RealtimeRuntime) SendRaw(n *Node, to NodeID, msg any) error {
+	return r.invoke(n, func() error { return n.inner.SendRaw(to, msg) })
+}
+
+// SendRawWith is SendRaw with flow-control options.
+func (r *RealtimeRuntime) SendRawWith(n *Node, to NodeID, msg any, opts SendOpts) error {
+	return r.invoke(n, func() error { return n.inner.SendRawWith(to, msg, opts) })
+}
+
+// EgressStats snapshots n's egress scheduler, read inside its loop.
+func (r *RealtimeRuntime) EgressStats(n *Node) EgressStats {
+	var st EgressStats
+	if err := r.RT.Invoke(n.Identity().ID, func() { st = n.inner.EgressStats() }); err != nil {
+		return EgressStats{}
+	}
+	return st
+}
+
 // IsMember reports n's membership, read inside its loop.
 func (r *RealtimeRuntime) IsMember(n *Node) bool {
 	var m bool
