@@ -243,7 +243,8 @@ func (n *Node) Leave() error { return n.inner.Leave() }
 
 // Broadcast disseminates data to every node in the system. It is
 // BroadcastWith with default options — the paper's zero-option signature,
-// kept as a thin wrapper.
+// kept as a thin wrapper until the next API-breaking release (see
+// "Migration from the zero-option signatures" in docs/API.md).
 func (n *Node) Broadcast(data []byte) error { return n.inner.Broadcast(data) }
 
 // BroadcastWith is Broadcast with flow-control options: a priority class
@@ -272,7 +273,8 @@ func (n *Node) GroupMembers() []Identity { return n.inner.Comp().Members }
 // its Config.OnRawMessage hook). It reports failures instead of silently
 // dropping — ErrNotRunning, ErrEgressOverflow, ErrUnregisteredType (see
 // docs/API.md); pre-existing callers may keep ignoring the result. It is
-// SendRawWith with default options.
+// SendRawWith with default options, kept as a thin wrapper until the next
+// API-breaking release (see docs/API.md).
 func (n *Node) SendRaw(to NodeID, msg any) error { return n.inner.SendRaw(to, msg) }
 
 // SendRawWith is SendRaw with flow-control options (priority class, egress

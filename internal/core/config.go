@@ -265,13 +265,6 @@ type Config struct {
 	// gob paths. Set it where every raw type is expected to be wire-codable
 	// (byte-level transports, flow-controlled deployments).
 	RequireRawCodec bool
-	// LegacyBatchFrames makes the egress scheduler emit v1 batch-carrier
-	// frames instead of the compact v2 layout (docs/WIRE.md, "Batch frame
-	// v2"). Receivers auto-detect both versions, so a mixed cluster
-	// interoperates; set this while any peer still runs a release that only
-	// decodes v1, then drop it — the knob (and the v1 writer) lasts one
-	// release, like the gob→wire envelope migration before it.
-	LegacyBatchFrames bool
 	// EgressGossipOnly restricts the egress scheduler to the gossip kind,
 	// sending walk, churn and raw traffic directly — the pre-egress
 	// behaviour, kept as the baseline for the `atum-bench -exp egress`

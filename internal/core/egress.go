@@ -129,8 +129,7 @@ func (n *Node) egressFlush(src, dst group.Composition, node ids.NodeID, items []
 		}
 		n.egressSeq++
 		group.SendBatchToNode(n.sendNow, src, n.cfg.Identity.ID, node,
-			kindBatch, batchMsgID(src, 0, n.cfg.Identity.ID, n.egressSeq), items,
-			n.cfg.LegacyBatchFrames)
+			kindBatch, batchMsgID(src, 0, n.cfg.Identity.ID, n.egressSeq), items)
 		return
 	}
 	if len(items) == 1 {
@@ -143,8 +142,7 @@ func (n *Node) egressFlush(src, dst group.Composition, node ids.NodeID, items []
 	}
 	n.egressSeq++
 	group.SendBatch(n.sendGroupQuantized, n.env.Rand(), src, n.cfg.Identity.ID, dst,
-		kindBatch, batchMsgID(src, dst.GroupID, n.cfg.Identity.ID, n.egressSeq), items,
-		n.cfg.LegacyBatchFrames)
+		kindBatch, batchMsgID(src, dst.GroupID, n.cfg.Identity.ID, n.egressSeq), items)
 }
 
 // batchMsgID identifies one batch carrier. It is unique per sender, not

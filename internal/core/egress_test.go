@@ -360,7 +360,7 @@ func TestRawNeverEntersInbox(t *testing.T) {
 			carrier = m
 		}
 	}
-	group.SendBatchToNode(capture, src, 1, self, kindBatch, crypto.Hash([]byte("b")), items, false)
+	group.SendBatchToNode(capture, src, 1, self, kindBatch, crypto.Hash([]byte("b")), items)
 	for _, sender := range src.Members {
 		n.handleBatch(sender.ID, carrier)
 	}

@@ -1,32 +1,31 @@
 package core
 
-// Mixed-cluster interop for the batch-frame v2 migration: nodes emitting the
-// legacy v1 frames and nodes emitting v2 frames must interoperate in both
-// directions with full delivery, because receivers auto-detect the version
-// from the first frame byte. This mirrors what TestMixedCodecClusterInterop
-// pinned for the gob→wire envelope migration.
+// Batch-frame v2 system coverage, post-migration: every node emits v2
+// carriers (the v1 writer is gone), and a carrier holding a v1 frame — a
+// pre-v2 peer — is recognized and ignored rather than decoded or mistaken
+// for corruption. This replaces the mixed-cluster interop tests that
+// covered the one-release migration window, mirroring how the gob→wire
+// envelope tests were retired after that migration.
 
 import (
 	"fmt"
 	"testing"
 	"time"
 
+	"atum/internal/crypto"
+	"atum/internal/group"
 	"atum/internal/ids"
 	"atum/internal/smr"
+	"atum/internal/wire"
 )
 
-// TestMixedBatchFrameClusterInterop runs a system where half the nodes emit
-// v1 batch carriers and half emit v2, with concurrent broadcast bursts from
-// publishers on both sides (bursts make batches actually form). Every
-// member must deliver every payload exactly once, whichever frame version
-// carried it.
-func TestMixedBatchFrameClusterInterop(t *testing.T) {
+// TestBatchFrameClusterDelivery runs concurrent broadcast bursts from two
+// publishers (bursts make batches actually form) and requires every member
+// to deliver every payload exactly once off the v2 carriers.
+func TestBatchFrameClusterDelivery(t *testing.T) {
 	h := newHarness(t, smr.ModeSync, 23, func(cfg *Config) {
 		cfg.DisableShuffle = true // freeze membership during dissemination
 		cfg.EvictAfter = time.Hour
-		if cfg.Identity.ID%2 == 0 {
-			cfg.LegacyBatchFrames = true
-		}
 	})
 	nodes := h.bootstrapSystem(smr.ModeSync, 12, 90*time.Second)
 	h.net.Run(h.net.Now() + 10*time.Second)
@@ -34,21 +33,12 @@ func TestMixedBatchFrameClusterInterop(t *testing.T) {
 		t.Fatalf("expected multiple vgroups, got %d", len(h.groupsOf()))
 	}
 
-	// One publisher per frame version (node IDs are 1-based and dense, so
-	// nodes[0] emits v2 and nodes[1] emits v1).
-	v2pub, v1pub := nodes[0], nodes[1]
-	if v2pub.cfg.LegacyBatchFrames || !v1pub.cfg.LegacyBatchFrames {
-		t.Fatal("publisher version assignment is off")
-	}
+	pubA, pubB := nodes[0], nodes[1]
 	var payloads []string
 	for round := 0; round < 3; round++ {
 		for i := 0; i < 4; i++ {
-			for _, pub := range []*Node{v2pub, v1pub} {
-				tag := "v2"
-				if pub.cfg.LegacyBatchFrames {
-					tag = "v1"
-				}
-				p := fmt.Sprintf("mixed-%s-%d-%d", tag, round, i)
+			for pi, pub := range []*Node{pubA, pubB} {
+				p := fmt.Sprintf("burst-%d-%d-%d", pi, round, i)
 				if err := pub.Broadcast([]byte(p)); err != nil {
 					t.Fatalf("broadcast %s: %v", p, err)
 				}
@@ -71,8 +61,8 @@ func TestMixedBatchFrameClusterInterop(t *testing.T) {
 		}
 		for _, p := range payloads {
 			if counts[p] != 1 {
-				t.Errorf("node %v (legacy=%v) delivered %q %d times, want exactly 1",
-					n.cfg.Identity.ID, n.cfg.LegacyBatchFrames, p, counts[p])
+				t.Errorf("node %v delivered %q %d times, want exactly 1",
+					n.cfg.Identity.ID, p, counts[p])
 			}
 		}
 	}
@@ -81,55 +71,61 @@ func TestMixedBatchFrameClusterInterop(t *testing.T) {
 	}
 }
 
-// TestMixedBatchFrameRawInterop pins the node-addressed carrier direction:
-// raw-message floods between a v1-emitting and a v2-emitting node arrive
-// intact both ways, including the DerivedID compact form (v2 omits raw
-// MsgIDs on the wire and the receiver re-derives them from the payload).
-func TestMixedBatchFrameRawInterop(t *testing.T) {
-	registerEgressTestMsg()
-	got := make(map[ids.NodeID][]egressTestMsg)
-	h := newHarness(t, smr.ModeSync, 29, func(cfg *Config) {
-		cfg.DisableShuffle = true
-		cfg.EvictAfter = time.Hour
-		if cfg.Identity.ID%2 == 0 {
-			cfg.LegacyBatchFrames = true
-		}
-		id := cfg.Identity.ID
-		cfg.OnRawMessage = func(from ids.NodeID, msg any) {
-			if m, ok := msg.(egressTestMsg); ok {
-				got[id] = append(got[id], m)
-			}
-		}
-	})
-	nodes := h.bootstrapSystem(smr.ModeSync, 4, 60*time.Second)
-	h.net.Run(h.net.Now() + 5*time.Second)
-
-	v2n, v1n := nodes[0], nodes[1]
-	const chunks = 16
-	for i := 0; i < chunks; i++ {
-		// Burst both directions so the raw items ride batch carriers.
-		v2n.SendRaw(v1n.cfg.Identity.ID, egressTestMsg{Seq: uint64(i), Body: []byte(fmt.Sprintf("v2->v1-%02d", i))})
-		v1n.SendRaw(v2n.cfg.Identity.ID, egressTestMsg{Seq: uint64(i), Body: []byte(fmt.Sprintf("v1->v2-%02d", i))})
+// encodeLegacyV1Frame reproduces the removed v1 batch-frame writer for one
+// full item: what a pre-v2 peer would put inside a batch carrier.
+func encodeLegacyV1Frame(items []group.BatchItem) []byte {
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
+	e.ListLen(len(items))
+	for _, it := range items {
+		e.Byte(byte(it.Kind))
+		e.Bytes32(it.MsgID)
+		e.Bool(true)
+		e.VarBytes(it.Payload)
 	}
-	h.net.Run(h.net.Now() + 2*time.Second)
+	return e.Detach()
+}
 
-	for _, dir := range []struct {
-		to   *Node
-		want string
-	}{{v1n, "v2->v1"}, {v2n, "v1->v2"}} {
-		msgs := got[dir.to.cfg.Identity.ID]
-		if len(msgs) != chunks {
-			t.Fatalf("%s: delivered %d raw messages, want %d", dir.want, len(msgs), chunks)
-		}
-		seen := make(map[uint64]bool)
-		for _, m := range msgs {
-			if string(m.Body) != fmt.Sprintf("%s-%02d", dir.want, m.Seq) {
-				t.Errorf("%s: corrupted chunk %d: %q", dir.want, m.Seq, m.Body)
-			}
-			seen[m.Seq] = true
-		}
-		if len(seen) != chunks {
-			t.Errorf("%s: %d distinct chunks, want %d", dir.want, len(seen), chunks)
-		}
+// TestLegacyV1BatchCarrierIgnored pins the receive side of the v1-writer
+// removal: a batch carrier holding a v1 frame is dropped whole — no inner
+// item reaches the raw hook — while the identical items in a v2 frame go
+// through. The drop must be the explicit legacy rejection, not a crash or
+// a silent partial decode.
+func TestLegacyV1BatchCarrierIgnored(t *testing.T) {
+	self := ids.NodeID(4)
+	comp := testComp(9, 1, 4, 5, 6)
+	src := testComp(7, 3, 1, 2, 3)
+	n, _ := memberNode(t, self, comp, src)
+	registerEgressTestMsg()
+	var got []any
+	n.cfg.OnRawMessage = func(_ ids.NodeID, msg any) { got = append(got, msg) }
+
+	extFrame, ok := encodeRawWire(egressTestMsg{Seq: 1, Body: []byte("chunk")})
+	if !ok {
+		t.Fatal("egressTestMsg not wire-codable")
+	}
+	items := []group.BatchItem{{
+		Kind:      kindRaw,
+		MsgID:     crypto.Hash(extFrame),
+		Payload:   extFrame,
+		DerivedID: true,
+	}}
+
+	var carrier group.GroupMsg
+	group.SendBatchToNode(func(_ ids.NodeID, m any) {
+		carrier = m.(group.GroupMsg)
+	}, src, 1, self, kindBatch, crypto.Hash([]byte("carrier")), items)
+
+	n.handleBatch(1, carrier)
+	if len(got) != 1 {
+		t.Fatalf("v2 carrier delivered %d raw messages, want 1", len(got))
+	}
+
+	legacy := carrier
+	legacy.Payload = encodeLegacyV1Frame(items)
+	legacy.PayloadDigest = crypto.Hash(legacy.Payload)
+	n.handleBatch(1, legacy)
+	if len(got) != 1 {
+		t.Fatalf("v1 carrier leaked %d raw messages through, want 0", len(got)-1)
 	}
 }

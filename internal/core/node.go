@@ -402,12 +402,6 @@ func (n *Node) SetBehavior(b Behavior) { n.cfg.Behavior = b }
 // the RNG consumption and hence the overlay topology under comparison).
 func (n *Node) SetEgressGossipOnly(v bool) { n.cfg.EgressGossipOnly = v }
 
-// SetLegacyBatchFrames toggles the v1 batch-frame writer at runtime. The
-// frames experiment uses it for the same reason as SetEgressGossipOnly: the
-// v1 and v2 measurements must share one identical growth history, so the
-// configuration diverges only after the overlay is built.
-func (n *Node) SetLegacyBatchFrames(v bool) { n.cfg.LegacyBatchFrames = v }
-
 // Now returns the node's clock (virtual in simulation).
 func (n *Node) Now() time.Duration {
 	if n.env == nil {

@@ -372,23 +372,21 @@ func FuzzDecodePayload(f *testing.F) {
 	f.Add([]byte{wireEnvMagic})
 	f.Add([]byte{wireEnvMagic, wkGossip, wireEnvV1})
 	f.Add([]byte{wireEnvMagic, wkSnapshot, wireEnvV1, 0xFF, 0xFF, 0xFF, 0xFF})
-	// GroupMsg envelopes whose payload is a batch-carrier frame, one per
-	// frame version: the envelope decoder treats the frame as opaque bytes,
-	// but seeding it steers the fuzzer toward the carrier-in-envelope shape
-	// receivers actually see.
-	for _, legacy := range []bool{false, true} {
-		var carrier group.GroupMsg
-		group.SendBatchToNode(func(_ ids.NodeID, m actor.Message) {
-			carrier = m.(group.GroupMsg)
-		}, group.Composition{GroupID: 3, Epoch: 1, Members: []ids.Identity{{ID: 1}}},
-			1, 2, kindBatch, wcDigest(7),
-			[]group.BatchItem{
-				{Kind: kindGossip, MsgID: wcDigest(8), Payload: []byte("seed-one")},
-				{Kind: kindGossip, MsgID: wcDigest(9), Payload: []byte("seed-two")},
-				{Kind: kindRaw, MsgID: crypto.Hash([]byte("seed-raw")), Payload: []byte("seed-raw"), DerivedID: true},
-			}, legacy)
-		f.Add(encodePayload(carrier))
-	}
+	// A GroupMsg envelope whose payload is a batch-carrier frame: the
+	// envelope decoder treats the frame as opaque bytes, but seeding it
+	// steers the fuzzer toward the carrier-in-envelope shape receivers
+	// actually see.
+	var carrier group.GroupMsg
+	group.SendBatchToNode(func(_ ids.NodeID, m actor.Message) {
+		carrier = m.(group.GroupMsg)
+	}, group.Composition{GroupID: 3, Epoch: 1, Members: []ids.Identity{{ID: 1}}},
+		1, 2, kindBatch, wcDigest(7),
+		[]group.BatchItem{
+			{Kind: kindGossip, MsgID: wcDigest(8), Payload: []byte("seed-one")},
+			{Kind: kindGossip, MsgID: wcDigest(9), Payload: []byte("seed-two")},
+			{Kind: kindRaw, MsgID: crypto.Hash([]byte("seed-raw")), Payload: []byte("seed-raw"), DerivedID: true},
+		})
+	f.Add(encodePayload(carrier))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		v, err := decodePayload(data)
 		if err == nil && v != nil {

@@ -82,21 +82,21 @@ func linkMsgs(d simnet.Stats) int64 {
 // the first broadcast and still members after the drain); churners join and
 // leave mid-dissemination by design.
 func EgressRun(n, publishers, rounds int, gossipOnly bool, seed int64) (EgressTraffic, error) {
-	return egressScenario(n, publishers, rounds, gossipOnly, false, seed)
+	return egressScenario(n, publishers, rounds, gossipOnly, seed)
 }
 
-// FramesRun measures the same scenario with the unified scheduler on,
-// toggling only the batch-frame version (Node.SetLegacyBatchFrames): the
-// v1-vs-v2 wire-bytes comparison behind `atum-bench -exp frames`.
-func FramesRun(n, publishers, rounds int, legacyFrames bool, seed int64) (EgressTraffic, error) {
-	return egressScenario(n, publishers, rounds, false, legacyFrames, seed)
+// FramesRun measures the same scenario with the unified scheduler on: the
+// v2-frame wire-bytes reference behind `atum-bench -exp frames`. (It was
+// the v1-vs-v2 comparison while both writers existed; the v1 writer is
+// gone, so the run now documents the absolute cost of the current frames.)
+func FramesRun(n, publishers, rounds int, seed int64) (EgressTraffic, error) {
+	return egressScenario(n, publishers, rounds, false, seed)
 }
 
 // egressScenario drives the churn-storm + multi-publisher + raw-flood
-// scenario under one (gossipOnly, legacyFrames) configuration. Both toggles
-// flip AFTER growth so every configuration measures the same overlay
-// topology.
-func egressScenario(n, publishers, rounds int, gossipOnly, legacyFrames bool, seed int64) (EgressTraffic, error) {
+// scenario under one gossipOnly configuration. The toggle flips AFTER
+// growth so every configuration measures the same overlay topology.
+func egressScenario(n, publishers, rounds int, gossipOnly bool, seed int64) (EgressTraffic, error) {
 	const (
 		// chunksPerRound models AStream tier-2 data pushes. Tier-2 is a
 		// flood: EVERY node re-pushes each chunk to its vgroup and neighbor
@@ -121,7 +121,6 @@ func egressScenario(n, publishers, rounds int, gossipOnly, legacyFrames bool, se
 	// Identical growth history for every configuration; diverge only now.
 	for _, node := range cl.nodes {
 		node.Inner().SetEgressGossipOnly(gossipOnly)
-		node.Inner().SetLegacyBatchFrames(legacyFrames)
 	}
 
 	var pubs, stable []*atum.Node
@@ -162,7 +161,6 @@ func egressScenario(n, publishers, rounds int, gossipOnly, legacyFrames bool, se
 		}
 		fresh := cl.addNode(atum.BehaviorCorrect)
 		fresh.Inner().SetEgressGossipOnly(gossipOnly)
-		fresh.Inner().SetLegacyBatchFrames(legacyFrames)
 		_ = fresh.Join(contact)
 		for i, p := range pubs {
 			payload := fmt.Sprintf("egress-%d-%d-%s", r, i, randTextSeeded(seed, 40))

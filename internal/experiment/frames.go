@@ -2,49 +2,33 @@ package experiment
 
 import "fmt"
 
-// Frames compares the legacy v1 batch-carrier frames against the compact v2
-// layout (per-kind item forms, derived-MsgID raw items, run-length kind
-// groups, cross-item dictionary compression — docs/WIRE.md, "Batch frame
-// v2") under the egress churn-storm + multi-publisher + raw-flood scenario.
-// The unified scheduler is on in both rows; only the frame writer differs,
-// and it is toggled after growth so both rows measure the same overlay. The
-// acceptance metric is wire bytes per broadcast at full delivery.
+// Frames reports the wire cost of the v2 batch-carrier frames (per-kind
+// item forms, derived-MsgID raw items, run-length kind groups, cross-item
+// dictionary compression — docs/WIRE.md, "Batch frame v2") under the
+// egress churn-storm + multi-publisher + raw-flood scenario. While both
+// frame writers existed this was a v1-vs-v2 comparison; the v1 writer was
+// removed after its migration window (the historical reduction is pinned
+// in internal/group's size-comparison tests against a test-local v1
+// encoder), so the table now documents the absolute cost of the current
+// frames as a reference for future layout work.
 func Frames(n, publishers, rounds int, seed int64) Table {
 	t := Table{
 		Title: fmt.Sprintf("Batch frame v2: N=%d, %d publishers, %d rounds, churn storm + raw floods",
 			n, publishers, rounds),
 		Header: []string{"frames", "bytes_per_bcast", "link_msgs_per_bcast", "delivered"},
 	}
-	var v1, v2 EgressTraffic
-	for _, legacy := range []bool{true, false} {
-		name := "v2 (compact)"
-		if legacy {
-			name = "v1 (legacy)"
-		}
-		tr, err := FramesRun(n, publishers, rounds, legacy, seed)
-		if err != nil {
-			t.Remarks = append(t.Remarks, name+": "+err.Error())
-			continue
-		}
-		if legacy {
-			v1 = tr
-		} else {
-			v2 = tr
-		}
-		t.Rows = append(t.Rows, []string{
-			name,
-			fmt.Sprintf("%.0f", tr.BytesPerBcast),
-			fmt.Sprintf("%.0f", tr.LinkMsgsPerBcast),
-			fmt.Sprintf("%.2f", tr.Delivered),
-		})
+	tr, err := FramesRun(n, publishers, rounds, seed)
+	if err != nil {
+		t.Remarks = append(t.Remarks, "v2 (compact): "+err.Error())
+		return t
 	}
-	if v1.BytesPerBcast > 0 && v2.BytesPerBcast > 0 {
-		t.Remarks = append(t.Remarks, fmt.Sprintf(
-			"wire bytes/broadcast %.0f -> %.0f (%.0f%% reduction): raw items drop their MsgIDs, sibling payloads compress against the frame dictionary",
-			v1.BytesPerBcast, v2.BytesPerBcast,
-			100*(1-v2.BytesPerBcast/v1.BytesPerBcast)))
-		t.Remarks = append(t.Remarks,
-			"message counts are version-independent (same batches, smaller frames); both rows run the unified egress scheduler")
-	}
+	t.Rows = append(t.Rows, []string{
+		"v2 (compact)",
+		fmt.Sprintf("%.0f", tr.BytesPerBcast),
+		fmt.Sprintf("%.0f", tr.LinkMsgsPerBcast),
+		fmt.Sprintf("%.2f", tr.Delivered),
+	})
+	t.Remarks = append(t.Remarks,
+		"raw items drop their MsgIDs, sibling payloads compress against the frame dictionary; the v1 writer (and its comparison row) was removed after the migration window")
 	return t
 }

@@ -2,40 +2,27 @@ package experiment
 
 import "testing"
 
-// TestFrameV2ReducesBytes pins the PR's acceptance bar at system level:
-// under the egress scenario, v2 batch frames cut wire bytes per broadcast by
-// at least 15% against the v1 frames, at 100% delivery on stable members.
-// (The N=60 paper-scale run lives in `atum-bench -exp frames`; this test
-// uses the same smoke scale as the egress acceptance test.)
-func TestFrameV2ReducesBytes(t *testing.T) {
-	v1, err := FramesRun(24, 8, 6, true, 1)
+// TestFramesReferenceRun pins the frames experiment as a v2 reference:
+// full delivery on stable members and a sane, nonzero wire cost under the
+// churn-storm + raw-flood scenario. The historical v1-vs-v2 byte
+// reduction is pinned at frame level in internal/group's size-comparison
+// tests (against a test-local v1 encoder); a system-level comparison is
+// no longer possible with the v1 writer removed. (The N=60 paper-scale
+// run lives in `atum-bench -exp frames`; this test uses the same smoke
+// scale as the egress acceptance test.)
+func TestFramesReferenceRun(t *testing.T) {
+	v2, err := FramesRun(24, 8, 6, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	v2, err := FramesRun(24, 8, 6, false, 1)
-	if err != nil {
-		t.Fatal(err)
+	if v2.Delivered < 1 {
+		t.Fatalf("delivery not 100%%: %.3f", v2.Delivered)
 	}
-	if v1.Delivered < 1 || v2.Delivered < 1 {
-		t.Fatalf("delivery not 100%%: v1 %.3f, v2 %.3f", v1.Delivered, v2.Delivered)
+	if v2.BytesPerBcast <= 0 || v2.LinkMsgsPerBcast <= 0 {
+		t.Fatalf("degenerate run: %+v", v2)
 	}
-	if v1.BytesPerBcast <= 0 {
-		t.Fatalf("degenerate v1 run: %+v", v1)
-	}
-	reduction := 1 - v2.BytesPerBcast/v1.BytesPerBcast
-	if reduction < 0.15 {
-		t.Fatalf("bytes/broadcast reduction %.1f%% < 15%% (v1 %.0f, v2 %.0f)",
-			100*reduction, v1.BytesPerBcast, v2.BytesPerBcast)
-	}
-	// Same logical batches either way: frame version must not change how
-	// many messages cross links.
-	if v2.LinkMsgsPerBcast > v1.LinkMsgsPerBcast*1.01 {
-		t.Fatalf("v2 frames changed link message counts: %.0f -> %.0f",
-			v1.LinkMsgsPerBcast, v2.LinkMsgsPerBcast)
-	}
-	t.Logf("bytes/bcast %.0f -> %.0f (%.1f%% reduction), link msgs %.0f/%.0f, delivery %.2f/%.2f",
-		v1.BytesPerBcast, v2.BytesPerBcast, 100*reduction,
-		v1.LinkMsgsPerBcast, v2.LinkMsgsPerBcast, v1.Delivered, v2.Delivered)
+	t.Logf("bytes/bcast %.0f, link msgs/bcast %.0f, delivery %.2f",
+		v2.BytesPerBcast, v2.LinkMsgsPerBcast, v2.Delivered)
 }
 
 // TestEgressBytesAtOrBelowGossipOnlyBaseline pins the PR-3 regression fix:

@@ -20,22 +20,20 @@ import (
 // are member-local and may cut anywhere), which is what makes send-side
 // batching safe without any cross-member batch agreement.
 //
-// Two frame layouts exist (byte-level spec: docs/WIRE.md):
+// One frame layout exists on the wire (byte-level spec: docs/WIRE.md): v2 —
+// run-length kind groups, frame-level full/derived-MsgID bitmaps, per-item
+// compact forms (derived-MsgID items omit the 32-byte MsgID entirely), and
+// cross-item dictionary compression — later payloads that share a
+// prefix/suffix with an earlier payload in the same frame encode a
+// back-reference instead of the bytes.
 //
-//   - v1 (legacy): a flat item list, every item paying a kind byte, a
-//     32-byte MsgID, and a full/digest flag — even node-addressed raw items
-//     whose MsgID the receiver never reads.
-//   - v2 (current): run-length kind groups, frame-level full/derived-MsgID
-//     bitmaps, per-item compact forms (derived-MsgID items omit the 32-byte
-//     MsgID entirely), and cross-item dictionary compression — later
-//     payloads that share a prefix/suffix with an earlier payload in the
-//     same frame encode a back-reference instead of the bytes.
-//
-// Receivers auto-detect the version from the first frame byte: a v1 frame
-// always starts with 0x00 (its item count is a big-endian uint32 bounded by
-// MaxBatchItems < 2^16), so a nonzero version byte is unambiguous. Senders
-// emit v2 unless the legacy knob is set (one-release migration window,
-// mirroring the gob→wire envelope migration).
+// The v1 layout (a flat item list, every item paying a kind byte, a 32-byte
+// MsgID, and a full/digest flag) had its writer removed after its
+// one-release migration window, mirroring the gob→wire envelope migration.
+// Receivers still dispatch on the first frame byte and reject a v1 frame
+// (which always starts 0x00: its item count was a big-endian uint32 bounded
+// by MaxBatchItems < 2^16) with an explicit error rather than a generic
+// version complaint, so a stale sender produces a diagnosable failure.
 
 // BatchItem is one logical group message folded into a batch.
 type BatchItem struct {
@@ -103,28 +101,6 @@ const (
 	payloadLiteral = 0x00
 	payloadBackref = 0x01
 )
-
-// encodeBatchFrame serializes the items as a legacy v1 frame. When full is
-// true every item carries its payload; otherwise items carry only the
-// payload digest — the per-item analogue of the §5.1 digest optimization, so
-// high-index members of the source composition still transmit a fraction of
-// the bytes. Kept as the legacy writer for the v1→v2 migration window.
-func encodeBatchFrame(items []BatchItem, full bool) []byte {
-	e := wire.GetEncoder()
-	defer wire.PutEncoder(e)
-	e.ListLen(len(items))
-	for _, it := range items {
-		e.Byte(byte(it.Kind))
-		e.Bytes32(it.MsgID)
-		e.Bool(full)
-		if full {
-			e.VarBytes(it.Payload)
-		} else {
-			e.Bytes32(crypto.Hash(it.Payload))
-		}
-	}
-	return e.Detach()
-}
 
 // encodeBatchFrameV2 serializes the items as a v2 frame:
 //
@@ -279,54 +255,24 @@ type decodedBatchItem struct {
 	payload []byte
 }
 
-// decodeBatchFrame decodes either frame version, dispatching on the first
-// byte. Hostile frames (bad lengths, truncation, trailing bytes, oversized
-// item counts, out-of-window back-references, nonzero bitmap padding)
-// return an error.
+// decodeBatchFrame dispatches on the first frame byte. Hostile frames (bad
+// lengths, truncation, trailing bytes, oversized item counts, out-of-window
+// back-references, nonzero bitmap padding) return an error. A v1 frame —
+// recognizable by its 0x00 first byte — is rejected explicitly: the v1
+// writer was removed after its migration window, so reaching that case
+// means a peer is running a pre-v2 build, not that the frame is corrupt.
 func decodeBatchFrame(b []byte) ([]decodedBatchItem, error) {
 	if len(b) == 0 {
 		return nil, fmt.Errorf("group: empty batch frame")
 	}
 	switch b[0] {
 	case 0x00:
-		return decodeBatchFrameV1(b)
+		return nil, fmt.Errorf("group: legacy v1 batch frame; the v1 writer was removed after its migration window — upgrade the sending node")
 	case batchFrameV2:
 		return decodeBatchFrameV2(b[1:])
 	default:
 		return nil, fmt.Errorf("group: unsupported batch frame version %#x", b[0])
 	}
-}
-
-// decodeBatchFrameV1 reverses encodeBatchFrame (the legacy flat layout).
-// It keeps the PR-3 copying decode deliberately: this is the migration-
-// window path and the allocation baseline BenchmarkBatchEncodeDecode
-// compares the v2 zero-copy path against.
-func decodeBatchFrameV1(b []byte) ([]decodedBatchItem, error) {
-	d := wire.NewDecoder(b)
-	n := d.ListLen()
-	if n > MaxBatchItems {
-		return nil, fmt.Errorf("group: batch of %d items exceeds limit %d", n, MaxBatchItems)
-	}
-	items := make([]decodedBatchItem, 0, n)
-	for i := 0; i < n; i++ {
-		var it decodedBatchItem
-		it.kind = Kind(d.Byte())
-		it.msgID = d.Bytes32()
-		if d.Bool() {
-			it.payload = d.VarBytes()
-			it.digest = crypto.Hash(it.payload)
-		} else {
-			it.digest = d.Bytes32()
-		}
-		if d.Err() != nil {
-			return nil, d.Err()
-		}
-		items = append(items, it)
-	}
-	if err := d.Finish(); err != nil {
-		return nil, err
-	}
-	return items, nil
 }
 
 // decodeBatchFrameV2 reverses encodeBatchFrameV2; b starts after the version
@@ -484,9 +430,8 @@ func (st *batchDecodeState) decodePayloadForm(d *wire.Decoder) ([]byte, error) {
 // ⌊N/2⌋+1 indices transmit the full payloads and the rest transmit
 // digest-only copies, and destination order is randomized against incast
 // (§5.1). batchID identifies the carrier message only; it takes no part in
-// inbox majority matching — the inner MsgIDs do. legacy selects the v1 frame
-// layout (the one-release migration knob); receivers auto-detect either.
-func SendBatch(send SendFn, rng *rand.Rand, src Composition, self ids.NodeID, dst Composition, kind Kind, batchID crypto.Digest, items []BatchItem, legacy bool) {
+// inbox majority matching — the inner MsgIDs do.
+func SendBatch(send SendFn, rng *rand.Rand, src Composition, self ids.NodeID, dst Composition, kind Kind, batchID crypto.Digest, items []BatchItem) {
 	if len(items) == 0 {
 		return
 	}
@@ -499,7 +444,7 @@ func SendBatch(send SendFn, rng *rand.Rand, src Composition, self ids.NodeID, ds
 	if idx := src.Index(self); idx >= 0 && idx < src.Majority() {
 		full = true
 	}
-	frame := encodeFrame(items, full, legacy)
+	frame := encodeBatchFrameV2(items, full)
 	msg := GroupMsg{
 		SrcGroup:      src.GroupID,
 		SrcEpoch:      src.Epoch,
@@ -520,14 +465,14 @@ func SendBatch(send SendFn, rng *rand.Rand, src Composition, self ids.NodeID, ds
 // single node, with every payload carried in full — node-addressed batches
 // (application raw-message floods) are link-authenticated, not majority-
 // matched, so there is no digest optimization to apply.
-func SendBatchToNode(send SendFn, src Composition, self ids.NodeID, to ids.NodeID, kind Kind, batchID crypto.Digest, items []BatchItem, legacy bool) {
+func SendBatchToNode(send SendFn, src Composition, self ids.NodeID, to ids.NodeID, kind Kind, batchID crypto.Digest, items []BatchItem) {
 	if len(items) == 0 {
 		return
 	}
 	if len(items) > MaxBatchItems {
 		panic(fmt.Sprintf("group: batch of %d items exceeds limit %d", len(items), MaxBatchItems))
 	}
-	frame := encodeFrame(items, true, legacy)
+	frame := encodeBatchFrameV2(items, true)
 	send(to, GroupMsg{
 		SrcGroup:      src.GroupID,
 		SrcEpoch:      src.Epoch,
@@ -536,14 +481,6 @@ func SendBatchToNode(send SendFn, src Composition, self ids.NodeID, to ids.NodeI
 		PayloadDigest: crypto.Hash(frame),
 		Payload:       frame,
 	})
-}
-
-// encodeFrame picks the frame writer: v2 unless the legacy knob asks for v1.
-func encodeFrame(items []BatchItem, full, legacy bool) []byte {
-	if legacy {
-		return encodeBatchFrame(items, full)
-	}
-	return encodeBatchFrameV2(items, full)
 }
 
 // UnpackBatch recovers the inner logical messages of a batch carrier. Each

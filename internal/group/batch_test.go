@@ -25,64 +25,87 @@ func batchItems(payloads ...string) []BatchItem {
 	return items
 }
 
-// frameEncoders enumerates both frame writers; most round-trip properties
-// must hold for each.
-var frameEncoders = []struct {
-	name string
-	enc  func(items []BatchItem, full bool) []byte
-}{
-	{"v1", encodeBatchFrame},
-	{"v2", encodeBatchFrameV2},
+// encodeBatchFrameV1Test reproduces the removed v1 writer byte-for-byte: a
+// flat item list, every item paying a kind byte, a 32-byte MsgID, and a
+// full/digest flag. The production writer is gone; the test copy keeps the
+// explicit-rejection test honest (a real v1 frame, not a guess at one) and
+// keeps the size-comparison pins measuring v2 against what it replaced.
+func encodeBatchFrameV1Test(items []BatchItem, full bool) []byte {
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
+	e.ListLen(len(items))
+	for _, it := range items {
+		e.Byte(byte(it.Kind))
+		e.Bytes32(it.MsgID)
+		e.Bool(full)
+		if full {
+			e.VarBytes(it.Payload)
+		} else {
+			e.Bytes32(crypto.Hash(it.Payload))
+		}
+	}
+	return e.Detach()
 }
 
 func TestBatchFrameRoundTripFull(t *testing.T) {
-	for _, fe := range frameEncoders {
-		t.Run(fe.name, func(t *testing.T) {
-			items := batchItems("alpha", "", "gamma-gamma")
-			frame := fe.enc(items, true)
-			got, err := decodeBatchFrame(frame)
-			if err != nil {
-				t.Fatalf("decode: %v", err)
-			}
-			if len(got) != len(items) {
-				t.Fatalf("items = %d, want %d", len(got), len(items))
-			}
-			for i, it := range got {
-				if it.kind != items[i].Kind || it.msgID != items[i].MsgID {
-					t.Errorf("item %d header mismatch", i)
-				}
-				if it.payload == nil || !bytes.Equal(it.payload, items[i].Payload) {
-					t.Errorf("item %d payload = %q, want %q", i, it.payload, items[i].Payload)
-				}
-				if it.digest != crypto.Hash(items[i].Payload) {
-					t.Errorf("item %d digest not derived from payload", i)
-				}
-			}
-		})
+	items := batchItems("alpha", "", "gamma-gamma")
+	frame := encodeBatchFrameV2(items, true)
+	got, err := decodeBatchFrame(frame)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("items = %d, want %d", len(got), len(items))
+	}
+	for i, it := range got {
+		if it.kind != items[i].Kind || it.msgID != items[i].MsgID {
+			t.Errorf("item %d header mismatch", i)
+		}
+		if it.payload == nil || !bytes.Equal(it.payload, items[i].Payload) {
+			t.Errorf("item %d payload = %q, want %q", i, it.payload, items[i].Payload)
+		}
+		if it.digest != crypto.Hash(items[i].Payload) {
+			t.Errorf("item %d digest not derived from payload", i)
+		}
 	}
 }
 
 func TestBatchFrameRoundTripDigestOnly(t *testing.T) {
-	for _, fe := range frameEncoders {
-		t.Run(fe.name, func(t *testing.T) {
-			items := batchItems("alpha", "beta")
-			frame := fe.enc(items, false)
-			got, err := decodeBatchFrame(frame)
-			if err != nil {
-				t.Fatalf("decode: %v", err)
-			}
-			for i, it := range got {
-				if it.payload != nil {
-					t.Errorf("digest-only item %d carries a payload", i)
-				}
-				if it.digest != crypto.Hash(items[i].Payload) {
-					t.Errorf("item %d digest mismatch", i)
-				}
-				if it.msgID != items[i].MsgID {
-					t.Errorf("item %d MsgID mismatch", i)
-				}
-			}
-		})
+	items := batchItems("alpha", "beta")
+	frame := encodeBatchFrameV2(items, false)
+	got, err := decodeBatchFrame(frame)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i, it := range got {
+		if it.payload != nil {
+			t.Errorf("digest-only item %d carries a payload", i)
+		}
+		if it.digest != crypto.Hash(items[i].Payload) {
+			t.Errorf("item %d digest mismatch", i)
+		}
+		if it.msgID != items[i].MsgID {
+			t.Errorf("item %d MsgID mismatch", i)
+		}
+	}
+}
+
+// TestBatchFrameRejectsLegacyV1 pins the post-migration contract: a
+// well-formed v1 frame (0x00 first byte) is recognized and rejected with
+// the explicit legacy error, not decoded and not mistaken for corruption.
+func TestBatchFrameRejectsLegacyV1(t *testing.T) {
+	for _, full := range []bool{true, false} {
+		frame := encodeBatchFrameV1Test(batchItems("alpha", "beta"), full)
+		if frame[0] != 0x00 {
+			t.Fatalf("v1 frame must start 0x00, got %#x", frame[0])
+		}
+		_, err := decodeBatchFrame(frame)
+		if err == nil {
+			t.Fatalf("full=%v: v1 frame accepted after writer removal", full)
+		}
+		if !bytes.Contains([]byte(err.Error()), []byte("legacy v1")) {
+			t.Errorf("full=%v: rejection %q does not name the legacy v1 layout", full, err)
+		}
 	}
 }
 
@@ -113,13 +136,13 @@ func TestBatchFrameV2MixedKindsRoundTrip(t *testing.T) {
 			}
 		}
 	}
-	// A single-kind frame spends one run header; v1 spends a kind byte per
+	// A single-kind frame spends one run header; v1 spent a kind byte per
 	// item. 64 same-kind items must come out smaller in v2.
 	uniform := batchItems(make([]string, 64)...)
 	for i := range uniform {
 		uniform[i].Payload = []byte(fmt.Sprintf("u-%02d-%s", i, string(rune('a'+i%26))))
 	}
-	v1 := encodeBatchFrame(uniform, true)
+	v1 := encodeBatchFrameV1Test(uniform, true)
 	v2 := encodeBatchFrameV2(uniform, true)
 	if len(v2) >= len(v1) {
 		t.Errorf("uniform-kind v2 frame %dB not smaller than v1 %dB", len(v2), len(v1))
@@ -165,7 +188,7 @@ func TestBatchFrameV2CompressesSiblingPayloads(t *testing.T) {
 		p := append([]byte(fmt.Sprintf("seq=%08d|", i)), body...)
 		items = append(items, BatchItem{Kind: 16, MsgID: crypto.Hash(p), Payload: p, DerivedID: true})
 	}
-	v1 := encodeBatchFrame(items, true)
+	v1 := encodeBatchFrameV1Test(items, true)
 	v2 := encodeBatchFrameV2(items, true)
 	if len(v2) > len(v1)/3 {
 		t.Errorf("sibling payloads: v2 frame %dB, want under a third of v1's %dB", len(v2), len(v1))
@@ -211,10 +234,10 @@ func TestBatchFrameRejectsGarbage(t *testing.T) {
 		{0x01, 0x00, 0x00, 0x00, 0x01},       // version-byte confusion
 		{0x00, 0xFF, 0xFF, 0xFF},             // absurd v1 count, truncated
 		{0x00, 0x00, 0x00, 0x00, 0x02, 0x01}, // truncated v1 items
-		append(encodeBatchFrame(batchItems("x"), true), 0xAA),   // v1 trailing bytes
-		append(encodeBatchFrameV2(batchItems("x"), true), 0xAA), // v2 trailing bytes
-		{batchFrameV2, 0xFF, 0xFF, 0xFF, 0xFF},                  // absurd v2 count
-		{batchFrameV2, 0x00, 0x00, 0x00, 0x02, 0x03},            // truncated v2 bitmaps
+		append(encodeBatchFrameV1Test(batchItems("x"), true), 0xAA), // v1: rejected outright
+		append(encodeBatchFrameV2(batchItems("x"), true), 0xAA),     // v2 trailing bytes
+		{batchFrameV2, 0xFF, 0xFF, 0xFF, 0xFF},                      // absurd v2 count
+		{batchFrameV2, 0x00, 0x00, 0x00, 0x02, 0x03},                // truncated v2 bitmaps
 	}
 	// Truncated run header: count says 2 items, bitmaps fine, run cut short.
 	e := wire.GetEncoder()
@@ -377,7 +400,7 @@ func TestBatchFrameV2DecompressionBudget(t *testing.T) {
 
 // TestSendBatchDigestOptimization mirrors TestSendDigestOptimization for the
 // batch path: members with the lowest ⌊N/2⌋+1 indices send full payloads,
-// the rest digest-only copies — under both frame versions.
+// the rest digest-only copies.
 func TestSendBatchDigestOptimization(t *testing.T) {
 	src := comp(1, 1, 1, 2, 3, 4, 5)
 	dst := comp(2, 1, 10, 11, 12)
@@ -385,37 +408,35 @@ func TestSendBatchDigestOptimization(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	batchID := crypto.Hash([]byte("batch"))
 
-	for _, legacy := range []bool{false, true} {
-		countFull := func(self ids.NodeID) (full, digest int) {
-			var sent []GroupMsg
-			send := func(_ ids.NodeID, msg actor.Message) { sent = append(sent, msg.(GroupMsg)) }
-			SendBatch(send, rng, src, self, dst, Kind(99), batchID, items, legacy)
-			if len(sent) != dst.N() {
-				t.Fatalf("sent %d copies, want %d", len(sent), dst.N())
-			}
-			inner, err := UnpackBatch(sent[0])
-			if err != nil {
-				t.Fatalf("unpack: %v", err)
-			}
-			for _, im := range inner {
-				if im.Payload != nil {
-					full++
-				} else {
-					digest++
-				}
-				if im.SrcGroup != src.GroupID || im.DstGroup != dst.GroupID {
-					t.Error("inner item did not inherit carrier headers")
-				}
-			}
-			return full, digest
+	countFull := func(self ids.NodeID) (full, digest int) {
+		var sent []GroupMsg
+		send := func(_ ids.NodeID, msg actor.Message) { sent = append(sent, msg.(GroupMsg)) }
+		SendBatch(send, rng, src, self, dst, Kind(99), batchID, items)
+		if len(sent) != dst.N() {
+			t.Fatalf("sent %d copies, want %d", len(sent), dst.N())
 		}
+		inner, err := UnpackBatch(sent[0])
+		if err != nil {
+			t.Fatalf("unpack: %v", err)
+		}
+		for _, im := range inner {
+			if im.Payload != nil {
+				full++
+			} else {
+				digest++
+			}
+			if im.SrcGroup != src.GroupID || im.DstGroup != dst.GroupID {
+				t.Error("inner item did not inherit carrier headers")
+			}
+		}
+		return full, digest
+	}
 
-		if full, _ := countFull(1); full != len(items) {
-			t.Errorf("legacy=%v: low-index member sent %d full payloads, want %d", legacy, full, len(items))
-		}
-		if _, digest := countFull(5); digest != len(items) {
-			t.Errorf("legacy=%v: high-index member must send digest-only items, got %d", legacy, digest)
-		}
+	if full, _ := countFull(1); full != len(items) {
+		t.Errorf("low-index member sent %d full payloads, want %d", full, len(items))
+	}
+	if _, digest := countFull(5); digest != len(items) {
+		t.Errorf("high-index member must send digest-only items, got %d", digest)
 	}
 }
 
@@ -456,7 +477,7 @@ func TestBatchVotesConvergeAcrossDifferentGroupings(t *testing.T) {
 	// Member 1 batches both messages together as a v2 frame.
 	SendBatch(func(_ ids.NodeID, m actor.Message) {
 		all = append(all, observe(1, m.(GroupMsg))...)
-	}, rng, src, 1, dst, Kind(99), crypto.Hash([]byte("b1")), items, false)
+	}, rng, src, 1, dst, Kind(99), crypto.Hash([]byte("b1")), items)
 	// Member 2 sends them unbatched (as if its flush window cut between them).
 	for _, it := range items {
 		Send(func(_ ids.NodeID, m actor.Message) {
@@ -477,29 +498,31 @@ func TestBatchVotesConvergeAcrossDifferentGroupings(t *testing.T) {
 		}
 	}
 
-	// The same property across frame versions: a v1 batcher and a v2 batcher
-	// vote the same logical messages to acceptance. (batchItems derives
-	// MsgIDs from the index alone; these need fresh ones or the inbox dedups
-	// them against the messages accepted above.)
-	items2 := batchItems("mixed-ver-one", "mixed-ver-two")
+	// The same property across carrier identities: two batchers wrapping the
+	// same logical messages under different batchIDs still vote them to
+	// acceptance — the carrier takes no part in majority matching.
+	// (batchItems derives MsgIDs from the index alone; these need fresh ones
+	// or the inbox dedups them against the messages accepted above.)
+	items2 := batchItems("mixed-carrier-one", "mixed-carrier-two")
 	for i := range items2 {
 		items2[i].MsgID = crypto.Hash(items2[i].Payload)
 	}
 	var all2 []Accepted
 	SendBatch(func(_ ids.NodeID, m actor.Message) {
 		all2 = append(all2, observe(1, m.(GroupMsg))...)
-	}, rng, src, 1, dst, Kind(99), crypto.Hash([]byte("b2-v2")), items2, false)
+	}, rng, src, 1, dst, Kind(99), crypto.Hash([]byte("b2-member1")), items2)
 	SendBatch(func(_ ids.NodeID, m actor.Message) {
 		all2 = append(all2, observe(2, m.(GroupMsg))...)
-	}, rng, src, 2, dst, Kind(99), crypto.Hash([]byte("b2-v1")), items2, true)
+	}, rng, src, 2, dst, Kind(99), crypto.Hash([]byte("b2-member2")), items2)
 	if len(all2) != len(items2) {
-		t.Fatalf("mixed-version batching accepted %d logical messages, want %d", len(all2), len(items2))
+		t.Fatalf("mixed-carrier batching accepted %d logical messages, want %d", len(all2), len(items2))
 	}
 }
 
 func FuzzDecodeBatchFrame(f *testing.F) {
-	f.Add(encodeBatchFrame(batchItems("a", "bb", "ccc"), true))
-	f.Add(encodeBatchFrame(batchItems("x"), false))
+	// v1 seeds exercise the explicit-rejection path.
+	f.Add(encodeBatchFrameV1Test(batchItems("a", "bb", "ccc"), true))
+	f.Add(encodeBatchFrameV1Test(batchItems("x"), false))
 	f.Add(encodeBatchFrameV2(batchItems("a", "bb", "ccc"), true))
 	f.Add(encodeBatchFrameV2(batchItems("x"), false))
 	sibs := batchItems("prefix-AAAA-suffix", "prefix-BBBB-suffix", "prefix-CCCC-suffix")
@@ -551,28 +574,27 @@ func benchFrameItems() []BatchItem {
 }
 
 // BenchmarkBatchEncodeDecode measures the frame codec on a 64-item
-// mixed-kind batch: allocs/op and bytes/op per version and direction, plus
-// the encoded frame size as a custom metric. The CI job feeds its -benchmem
-// output to cmd/benchguard against bench/batch_allocs_baseline.json.
+// mixed-kind batch: allocs/op and bytes/op per direction, plus the encoded
+// frame size as a custom metric. The CI job feeds its -benchmem output to
+// cmd/benchguard against bench/batch_allocs_baseline.json. (The v1 rows
+// disappeared with the v1 writer; the baseline shrank with them.)
 func BenchmarkBatchEncodeDecode(b *testing.B) {
 	items := benchFrameItems()
-	for _, fe := range frameEncoders {
-		frame := fe.enc(items, true)
-		b.Run(fe.name+"/encode", func(b *testing.B) {
-			b.ReportAllocs()
-			b.ReportMetric(float64(len(frame)), "frame-bytes")
-			for i := 0; i < b.N; i++ {
-				_ = fe.enc(items, true)
+	frame := encodeBatchFrameV2(items, true)
+	b.Run("v2/encode", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ReportMetric(float64(len(frame)), "frame-bytes")
+		for i := 0; i < b.N; i++ {
+			_ = encodeBatchFrameV2(items, true)
+		}
+	})
+	b.Run("v2/decode", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ReportMetric(float64(len(frame)), "frame-bytes")
+		for i := 0; i < b.N; i++ {
+			if _, err := decodeBatchFrame(frame); err != nil {
+				b.Fatal(err)
 			}
-		})
-		b.Run(fe.name+"/decode", func(b *testing.B) {
-			b.ReportAllocs()
-			b.ReportMetric(float64(len(frame)), "frame-bytes")
-			for i := 0; i < b.N; i++ {
-				if _, err := decodeBatchFrame(frame); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-	}
+		}
+	})
 }

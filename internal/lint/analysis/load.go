@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Unit is one package-shaped collection of parsed files: every .go file
+// of one directory, internal and external test packages included. The
+// atumvet analyzers are syntactic and per-declaration, so lumping the
+// _test package into the same unit is harmless and keeps the loader to
+// a directory walk.
+type Unit struct {
+	Dir     string
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []File
+}
+
+// Load parses the units under root. Each pattern is either a directory
+// (relative to root) or a "dir/..." subtree pattern; the default "./..."
+// loads the whole module. Directories named testdata, hidden
+// directories, and nested modules (a go.mod below root) are skipped —
+// matching what `go vet ./...` would visit.
+func Load(root string, patterns ...string) ([]*Unit, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs := make(map[string]bool)
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			base := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(rest, "./")))
+			if err := walkDirs(root, base, dirs); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		}
+		dirs[filepath.Clean(dir)] = true
+	}
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+
+	var units []*Unit
+	for _, dir := range sorted {
+		u, err := loadDir(root, modPath, dir)
+		if err != nil {
+			return nil, err
+		}
+		if u != nil {
+			units = append(units, u)
+		}
+	}
+	return units, nil
+}
+
+// walkDirs collects every package directory under base into dirs.
+func walkDirs(root, base string, dirs map[string]bool) error {
+	return filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base {
+			if name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			// A nested go.mod starts a different module; go tooling's
+			// ./... does not descend into it.
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil && path != root {
+				return filepath.SkipDir
+			}
+		}
+		dirs[filepath.Clean(path)] = true
+		return nil
+	})
+}
+
+// loadDir parses one directory into a Unit, or nil when it holds no Go
+// files.
+func loadDir(root, modPath, dir string) (*Unit, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []File
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, ent.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+		files = append(files, File{
+			AST:  f,
+			Name: path,
+			Test: strings.HasSuffix(ent.Name(), "_test.go"),
+		})
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgPath := modPath
+	if rel != "." {
+		pkgPath = modPath + "/" + filepath.ToSlash(rel)
+	}
+	return &Unit{Dir: dir, PkgPath: pkgPath, Fset: fset, Files: files}, nil
+}
+
+// modulePath reads the module path from root's go.mod. Units loaded
+// from outside a module (analyzer fixtures) fall back to the directory
+// name; linttest overrides the package path explicitly where it matters.
+func modulePath(root string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return filepath.Base(root), nil
+		}
+		return "", err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s/go.mod: no module line", root)
+}
+
+// Run applies the analyzers to the units, returning the surviving
+// diagnostics (allow-directive suppressions applied) sorted by position.
+func Run(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, u := range units {
+		allows := make(map[string][]allowDirective)
+		for _, f := range u.Files {
+			allows[f.Name] = append(allows[f.Name], parseAllows(u.Fset, f.AST, &diags)...)
+		}
+		for _, az := range analyzers {
+			files := u.Files
+			if az.SkipTests {
+				files = nil
+				for _, f := range u.Files {
+					if !f.Test {
+						files = append(files, f)
+					}
+				}
+				if len(files) == 0 {
+					continue
+				}
+			}
+			var raw []Diagnostic
+			pass := &Pass{
+				Analyzer: az,
+				Fset:     u.Fset,
+				Files:    files,
+				PkgPath:  u.PkgPath,
+				Dir:      u.Dir,
+				diags:    &raw,
+			}
+			if err := az.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", az.Name, u.PkgPath, err)
+			}
+			for _, d := range raw {
+				if !suppressed(d, allows) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}

@@ -1,0 +1,82 @@
+// Package clock holds detclock fixtures. The test runs them under the
+// package path atum/internal/core, inside the determinism scope; a
+// second run under a transport path asserts the same file is exempt.
+// Parsed, never compiled.
+package clock
+
+import (
+	"math/rand"
+	"time"
+	stdtime "time"
+)
+
+type engine struct {
+	clock func() time.Time
+	rng   *rand.Rand
+}
+
+// ---- negative cases: injected time and seeded rand ----
+
+func injected(e *engine) time.Duration {
+	start := e.clock()
+	return e.clock().Sub(start)
+}
+
+func seeded(e *engine) int {
+	return e.rng.Intn(10)
+}
+
+func construct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func arithmetic(d time.Duration) time.Duration {
+	return d + 5*time.Millisecond
+}
+
+func conversion(ms int64) time.Duration {
+	return time.Duration(ms) * time.Millisecond
+}
+
+func fixedPoint(sec int64) time.Time {
+	return time.Unix(sec, 0)
+}
+
+// ---- positive cases ----
+
+func wallClock() time.Time {
+	return time.Now() // want "wall clock: time.Now in deterministic package"
+}
+
+func renamedImport() time.Time {
+	return stdtime.Now() // want "wall clock: stdtime.Now in deterministic package"
+}
+
+func sleeper() {
+	time.Sleep(time.Second) // want "wall clock: time.Sleep in deterministic package"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall clock: time.Since in deterministic package"
+}
+
+func timer() {
+	_ = time.NewTimer(time.Second) // want "wall clock: time.NewTimer in deterministic package"
+}
+
+func ticker() <-chan time.Time {
+	return time.After(time.Second) // want "wall clock: time.After in deterministic package"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "global rand: rand.Intn in deterministic package"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global rand: rand.Shuffle in deterministic package"
+}
+
+func suppressedClock() time.Time {
+	//atumvet:allow detclock fixture: operator-facing log timestamp, not protocol state
+	return time.Now()
+}

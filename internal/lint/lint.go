@@ -1,0 +1,23 @@
+// Package lint assembles the repo's custom analyzers — the atumvet
+// suite. The analyzers encode invariants the type system cannot: wire
+// codec symmetry (wiresym), zero-copy view lifetimes (retainview), and
+// the determinism scope (detclock). cmd/atumvet runs them from the
+// command line and CI; the regression test in cmd/atumvet keeps the tree
+// at zero findings.
+package lint
+
+import (
+	"atum/internal/lint/analysis"
+	"atum/internal/lint/detclock"
+	"atum/internal/lint/retainview"
+	"atum/internal/lint/wiresym"
+)
+
+// Analyzers returns the full atumvet suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		wiresym.Analyzer,
+		retainview.Analyzer,
+		detclock.Analyzer,
+	}
+}

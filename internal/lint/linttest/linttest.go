@@ -1,0 +1,104 @@
+// Package linttest runs an analyzer over a fixture directory and checks
+// its findings against expectations embedded in the fixture source — the
+// in-repo equivalent of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture line that should be flagged carries a trailing comment
+//
+//	x.field = view // want "retains"
+//
+// where the quoted string is a regexp that must match one diagnostic
+// reported on that line. Every expectation must be matched by a
+// diagnostic and every diagnostic by an expectation, so fixtures pin
+// both the positive cases (the analyzer fires) and the negative ones
+// (clean idioms stay clean).
+package linttest
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"atum/internal/lint/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want "re"` comment.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads dir as one unit, applies the analyzer, and diffs findings
+// against the fixture's want comments. pkgPath overrides the unit's
+// import path, letting fixtures stand in for scoped packages (detclock
+// only fires inside internal/{core,group,overlay,smr}); pass "" to keep
+// the directory-derived path.
+func Run(t *testing.T, az *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	units, err := analysis.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("load fixtures: %v", err)
+	}
+	if len(units) != 1 {
+		t.Fatalf("fixture dir %s loaded %d units, want 1", dir, len(units))
+	}
+	unit := units[0]
+	if pkgPath != "" {
+		unit.PkgPath = pkgPath
+	}
+
+	var wants []*expectation
+	for _, f := range unit.Files {
+		for _, cg := range f.AST.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", position(unit.Fset, c.Pos()), m[1], err)
+				}
+				pos := unit.Fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+
+	diags, err := analysis.Run([]*analysis.Unit{unit}, []*analysis.Analyzer{az})
+	if err != nil {
+		t.Fatalf("run %s: %v", az.Name, err)
+	}
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func position(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	parts := strings.Split(p.String(), "/")
+	return parts[len(parts)-1]
+}

@@ -1,0 +1,12 @@
+package retainview_test
+
+import (
+	"testing"
+
+	"atum/internal/lint/linttest"
+	"atum/internal/lint/retainview"
+)
+
+func TestRetainFixtures(t *testing.T) {
+	linttest.Run(t, retainview.Analyzer, "testdata/retain", "")
+}

@@ -1,0 +1,156 @@
+package pairs
+
+import "atum/internal/wire"
+
+// ---- positive cases: drifted pairs, every want line must fire ----
+
+// SwappedFields: the decoder reads the two fields in the opposite order.
+type SwappedFields struct {
+	A uint64
+	B [32]byte
+}
+
+func (s SwappedFields) MarshalWire(e *wire.Encoder) {
+	e.Uint64(s.A)
+	e.Bytes32(s.B)
+}
+
+func (s *SwappedFields) UnmarshalWire(d *wire.Decoder) {
+	s.B = d.Bytes32() // want "encoder writes Uint64 but decoder reads Bytes32"
+	s.A = d.Uint64()
+}
+
+// MissingRead: the decoder forgot the trailing field.
+type MissingRead struct {
+	A uint64
+	B bool
+}
+
+func (m MissingRead) MarshalWire(e *wire.Encoder) {
+	e.Uint64(m.A)
+	e.Bool(m.B) // want "encoder writes 2 ops but decoder reads 1"
+}
+
+func (m *MissingRead) UnmarshalWire(d *wire.Decoder) {
+	m.A = d.Uint64()
+}
+
+// ExtraRead: the decoder reads a field the encoder never wrote.
+type ExtraRead struct {
+	A uint64
+}
+
+func (x ExtraRead) MarshalWire(e *wire.Encoder) {
+	e.Uint64(x.A)
+}
+
+func (x *ExtraRead) UnmarshalWire(d *wire.Decoder) {
+	x.A = d.Uint64()
+	_ = d.Byte() // want "decoder reads 2 ops but encoder writes 1"
+}
+
+// WidthDrift: a uint64 written, a uint32 read — the silent cross-member
+// divergence class.
+type WidthDrift struct {
+	N uint64
+}
+
+func (w WidthDrift) MarshalWire(e *wire.Encoder) {
+	e.Uint64(w.N)
+}
+
+func (w *WidthDrift) UnmarshalWire(d *wire.Decoder) {
+	w.N = uint64(d.Uint32()) // want "encoder writes Uint64 but decoder reads Uint32"
+}
+
+// LoopDrift: the loop bodies disagree — the encoder writes two fields
+// per element, the decoder reads one.
+type LoopDrift struct {
+	Items []uint64
+}
+
+func (l LoopDrift) MarshalWire(e *wire.Encoder) {
+	e.ListLen(len(l.Items))
+	for _, it := range l.Items {
+		e.Uint64(it)
+		e.Bool(true) // want "encoder writes 2 ops at 2/loop but decoder reads 1"
+	}
+}
+
+func (l *LoopDrift) UnmarshalWire(d *wire.Decoder) {
+	n := d.ListLen()
+	for i := 0; i < n && d.Err() == nil; i++ {
+		l.Items = append(l.Items, d.Uint64())
+	}
+}
+
+// MissingLoop: the decoder reads the list unlooped.
+type MissingLoop struct {
+	Items []uint64
+}
+
+func (m MissingLoop) MarshalWire(e *wire.Encoder) {
+	e.ListLen(len(m.Items))
+	for _, it := range m.Items {
+		e.Uint64(it)
+	}
+}
+
+func (m *MissingLoop) UnmarshalWire(d *wire.Decoder) {
+	_ = d.ListLen()
+	m.Items = []uint64{d.Uint64()} // want "encoder has rep group but decoder has Uint64"
+}
+
+// BranchDrift: the decode branch reads a different width than the
+// encode branch wrote.
+type BranchDrift struct {
+	Full bool
+	V    uint64
+}
+
+func (b BranchDrift) MarshalWire(e *wire.Encoder) {
+	e.Bool(b.Full)
+	if b.Full {
+		e.Uint64(b.V)
+	} else {
+		e.Uint32(uint32(b.V))
+	}
+}
+
+func (b *BranchDrift) UnmarshalWire(d *wire.Decoder) {
+	b.Full = d.Bool()
+	if b.Full {
+		b.V = d.Uint64()
+	} else {
+		b.V = uint64(d.Uint64()) // want "encoder writes Uint32 but decoder reads Uint64"
+	}
+}
+
+// HelperDrift: the decoder calls the wrong helper of a marshal pair.
+type HelperDrift struct {
+	K uint64
+}
+
+func (h HelperDrift) MarshalWire(e *wire.Encoder) {
+	marshalKey(e, h.K)
+}
+
+func (h *HelperDrift) UnmarshalWire(d *wire.Decoder) {
+	h.K = unmarshalOther(d) // want "encoder writes helper:key but decoder reads helper:other"
+}
+
+func unmarshalOther(d *wire.Decoder) uint64 { return d.Uint64() }
+
+// Suppressed: an allow directive with a reason silences the finding.
+type Suppressed struct {
+	A uint64
+}
+
+func (s Suppressed) MarshalWire(e *wire.Encoder) {
+	e.Uint64(s.A)
+}
+
+func (s *Suppressed) UnmarshalWire(d *wire.Decoder) {
+	//atumvet:allow wiresym fixture: pinned historical format reads a truncated field
+	s.A = uint64(d.Uint32())
+}

@@ -1,0 +1,106 @@
+// Package pairs holds wiresym fixtures: symmetric codec pairs that must
+// stay clean, and drifted ones that must be flagged. The files are
+// parsed, never compiled, so the wire import resolves only in spirit.
+package pairs
+
+import "atum/internal/wire"
+
+// ---- negative cases: symmetric pairs, no findings ----
+
+type Flat struct {
+	A uint64
+	B []byte
+	C bool
+}
+
+func (f Flat) MarshalWire(e *wire.Encoder) {
+	e.Uint64(f.A)
+	e.VarBytes(f.B)
+	e.Bool(f.C)
+}
+
+func (f *Flat) UnmarshalWire(d *wire.Decoder) {
+	f.A = d.Uint64()
+	f.B = d.VarBytes()
+	f.C = d.Bool()
+}
+
+type Inner struct{ V uint32 }
+
+func (i Inner) MarshalWire(e *wire.Encoder) { e.Uint32(i.V) }
+
+func (i *Inner) UnmarshalWire(d *wire.Decoder) { i.V = d.Uint32() }
+
+// Looped has a list with a ListLen header, a nested pair, and a helper
+// pair — the stateSnapshot idiom.
+type Looped struct {
+	Items []Inner
+	Keys  []uint64
+}
+
+func (l Looped) MarshalWire(e *wire.Encoder) {
+	e.ListLen(len(l.Items))
+	for _, it := range l.Items {
+		it.MarshalWire(e)
+		marshalKey(e, 0)
+	}
+	e.ListLen(len(l.Keys))
+	for _, k := range l.Keys {
+		e.Uint64(k)
+	}
+}
+
+func (l *Looped) UnmarshalWire(d *wire.Decoder) {
+	n := d.ListLen()
+	l.Items = nil
+	for i := 0; i < n && d.Err() == nil; i++ {
+		var it Inner
+		it.UnmarshalWire(d)
+		_ = unmarshalKey(d)
+		l.Items = append(l.Items, it)
+	}
+	n = d.ListLen()
+	l.Keys = nil
+	for i := 0; i < n && d.Err() == nil; i++ {
+		l.Keys = append(l.Keys, d.Uint64())
+	}
+}
+
+func marshalKey(e *wire.Encoder, k uint64) { e.Uint64(k) }
+func unmarshalKey(d *wire.Decoder) uint64  { return d.Uint64() }
+
+// Conditional mirrors GroupMsg: presence flag outside the branch on the
+// encode side, inside the if condition on the decode side.
+type Conditional struct {
+	Payload []byte
+}
+
+func (c Conditional) MarshalWire(e *wire.Encoder) {
+	e.Bool(c.Payload != nil)
+	if c.Payload != nil {
+		e.VarBytes(c.Payload)
+	}
+}
+
+func (c *Conditional) UnmarshalWire(d *wire.Decoder) {
+	c.Payload = nil
+	if d.Bool() {
+		c.Payload = d.VarBytes()
+	}
+}
+
+// ViewReader decodes through the zero-copy reader; VarBytesView reads
+// the same framing VarBytes writes, so the pair is symmetric.
+type ViewReader struct {
+	B []byte
+}
+
+func (v ViewReader) MarshalWire(e *wire.Encoder) { e.VarBytes(v.B) }
+
+func (v *ViewReader) UnmarshalWire(d *wire.Decoder) { v.B = d.VarBytesView() }
+
+// MarshalOnly has no decoder half: canonical digest encodings are
+// legitimate and not flagged.
+type MarshalOnly struct{ V uint64 }
+
+func (m MarshalOnly) MarshalWire(e *wire.Encoder) { e.Uint64(m.V) }

@@ -1,0 +1,59 @@
+// Package registry holds wiresym registry-drift fixtures: a toy
+// encodeWire/decodeWire pair in the engine's shape, with two clean
+// mappings and three drift classes that must be flagged.
+package registry
+
+import "atum/internal/wire"
+
+const (
+	wkPing byte = iota + 1
+	wkPong
+	wkData
+	wkGone
+	wkOrphan
+)
+
+type (
+	Ping   struct{}
+	Pong   struct{}
+	Data   struct{}
+	Blob   struct{}
+	Gone   struct{}
+	Orphan struct{}
+)
+
+func hdr(e *wire.Encoder, k byte) *wire.Encoder {
+	e.Byte(k)
+	return e
+}
+
+func encodeWire(e *wire.Encoder, p any) {
+	switch m := p.(type) {
+	case Ping:
+		m.MarshalWire(hdr(e, wkPing))
+	case Pong:
+		m.MarshalWire(hdr(e, wkPong))
+	case Data:
+		m.MarshalWire(hdr(e, wkData))
+	case Gone: // want "encodeWire tags Gone with wkGone but decodeWire has no case for wkGone"
+		m.MarshalWire(hdr(e, wkGone))
+	}
+}
+
+func decodeWire(d *wire.Decoder, k byte) any {
+	switch k {
+	case wkPing:
+		var p Ping
+		return p
+	case wkPong:
+		var p Pong
+		return p
+	case wkData: // want "tag wkData encodes Data but decodes Blob"
+		var p Blob
+		return p
+	case wkOrphan: // want "decodeWire decodes Orphan for tag wkOrphan but encodeWire never emits it"
+		var p Orphan
+		return p
+	}
+	return nil
+}
