@@ -7,11 +7,16 @@
 //     (Single) or two (Double) H-graph cycles — the §6.3 trade-off between
 //     metadata latency and bandwidth.
 //   - Tier 2 (throughput): a lightweight push multicast disseminates the
-//     actual chunk data over direct node links, flooding with
-//     deduplication (the paper uses a forest of f+1 parents per node; this
-//     implementation floods the same links and relies on tier-1 digests
-//     for authentication, preserving the "at least one correct path"
-//     guarantee).
+//     actual chunk data over direct node links — full coverage inside the
+//     own vgroup, and a forest of f+1 parents per neighboring vgroup (the
+//     paper's §4.3 forest): each chunk picks f+1 members of each eager
+//     neighbor vgroup, rotated per sequence number so parent load spreads.
+//     With at least one correct parent per group and receivers re-pushing
+//     verified data inside their own vgroup, the "at least one correct
+//     path" guarantee is preserved at a fraction of the flood's copies.
+//     Neighbor vgroups whose dissemination-tree link is lazy (see
+//     core.TreeGossip) are skipped entirely — their verified copy arrives
+//     through their own eager parents.
 //
 // A node delivers a chunk when both the data and a matching tier-1 digest
 // are present; corrupted data (no digest match) is discarded.
@@ -225,15 +230,21 @@ func (s *Service) HandleRaw(_ atum.NodeID, msg any) {
 	s.pushData(m, true)
 }
 
-// pushData forwards a chunk to this node's vgroup members and neighbor
-// members (tier-2 links follow the overlay structure, §4.3), pacing off the
-// egress pressure signal instead of flooding blindly: destinations at
-// Critical receive no data pushes (their verified copy arrives via another
-// of the f+1 parents), destinations at High still receive verified data but
-// no speculative (unverified-candidate) forwards, and overflow rejections
-// count as sheds rather than retries — chunk data is replaceable, and the
-// tier-1 digests that make it verifiable ride the protocol path, which is
-// never shed.
+// pushData forwards a chunk to this node's vgroup members and an f+1-parent
+// forest over the neighbor vgroups (tier-2 links follow the overlay
+// structure, §4.3), pacing off the egress pressure signal instead of
+// flooding blindly: destinations at Critical receive no data pushes (their
+// verified copy arrives via another of the f+1 parents), destinations at
+// High still receive verified data but no speculative (unverified-candidate)
+// forwards, and overflow rejections count as sheds rather than retries —
+// chunk data is replaceable, and the tier-1 digests that make it verifiable
+// ride the protocol path, which is never shed.
+//
+// The own vgroup gets full coverage (chunk verification needs the digest
+// quorum there anyway). Each eager neighbor vgroup gets f+1 parents chosen
+// by sequence-number rotation — at least one is correct, and receivers
+// re-push verified data through their own vgroup, so one surviving copy per
+// group suffices. Lazy dissemination-tree links are skipped entirely.
 func (s *Service) pushData(m dataMsg, speculative bool) {
 	if s.node == nil {
 		return
@@ -266,15 +277,27 @@ func (s *Service) pushData(m dataMsg, speculative bool) {
 	for _, member := range s.node.GroupMembers() {
 		send(member.ID)
 	}
-	nbrs := s.node.Inner().Neighbors()
+	inner := s.node.Inner()
+	nbrs := inner.Neighbors()
 	for c := 0; c < nbrs.NumCycles(); c++ {
-		for _, comp := range []int{0, 1} {
-			list := nbrs.Preds[c].Members
-			if comp == 1 {
-				list = nbrs.Succs[c].Members
+		for _, dir := range []int{0, 1} {
+			nbr := nbrs.Preds[c]
+			if dir == 1 {
+				nbr = nbrs.Succs[c]
 			}
-			for _, member := range list {
-				send(member.ID)
+			if nbr.GroupID == 0 || len(nbr.Members) == 0 {
+				continue
+			}
+			if !inner.TreeEagerLink(nbr.GroupID) {
+				continue
+			}
+			k := inner.FaultBound(len(nbr.Members)) + 1
+			if k > len(nbr.Members) {
+				k = len(nbr.Members)
+			}
+			off := int(m.Seq % uint64(len(nbr.Members)))
+			for i := 0; i < k; i++ {
+				send(nbr.Members[(off+i)%len(nbr.Members)].ID)
 			}
 		}
 	}

@@ -109,6 +109,8 @@ type (
 	Behavior = core.Behavior
 	// NodeID identifies a node.
 	NodeID = ids.NodeID
+	// GroupID identifies a vgroup.
+	GroupID = ids.GroupID
 	// Identity is a node's public identity.
 	Identity = ids.Identity
 	// GroupComposition is a vgroup's membership at one epoch (the value
@@ -191,6 +193,10 @@ const (
 	EventEviction = core.EventEviction
 	// EventShuffleDone counts completed whole-group shuffles.
 	EventShuffleDone = core.EventShuffleDone
+	// EventDuplicateDelivery counts gossip payloads accepted for broadcasts
+	// the node had already delivered (the redundancy Config.TreeGossip
+	// prunes away).
+	EventDuplicateDelivery = core.EventDuplicateDelivery
 )
 
 // DefaultParams returns sensible Table 1 parameters for a medium system.
@@ -292,6 +298,15 @@ func (n *Node) EgressStats() EgressStats { return n.inner.EgressStats() }
 
 // Now returns the node's clock (virtual under simulation).
 func (n *Node) Now() time.Duration { return n.inner.Now() }
+
+// SetTreeGossip toggles the dissemination tree over the gossip phase at
+// runtime (see Config.TreeGossip).
+func (n *Node) SetTreeGossip(v bool) { n.inner.SetTreeGossip(v) }
+
+// TreeEager reports whether the overlay link to the given neighbor vgroup
+// is currently an eager dissemination-tree edge (always true while the
+// tree is disabled). Tier-2 layers use it to pick forest parents.
+func (n *Node) TreeEager(gid GroupID) bool { return n.inner.TreeEagerLink(gid) }
 
 // Inner exposes the engine node for advanced integrations (applications in
 // this module and the experiment harness).

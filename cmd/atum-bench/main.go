@@ -8,7 +8,7 @@
 //	atum-bench -exp fig4 -quick         # smoke scale
 //
 // Experiments: table1 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-// batching wirecodec egress frames backpressure all.
+// batching wirecodec egress frames tree backpressure all.
 // Output: paper-style rows on stdout; EXPERIMENTS.md records a reference run.
 package main
 
@@ -28,7 +28,7 @@ func main() {
 
 func run() int {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1|robustness|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|batching|wirecodec|egress|frames|backpressure|all")
+		exp   = flag.String("exp", "all", "experiment: table1|robustness|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|batching|wirecodec|egress|frames|tree|backpressure|all")
 		n     = flag.Int("n", 0, "system size override")
 		byz   = flag.Int("byz", 0, "byzantine node count (fig8)")
 		seed  = flag.Int64("seed", 1, "simulation seed")
@@ -137,6 +137,17 @@ func run() int {
 				rounds = 6
 			}
 			fmt.Print(experiment.Frames(size, 8, rounds, *seed))
+		case "tree":
+			// The eager/lazy split pays off per distinct overlay link; below
+			// ~8 vgroups the H-graph cycle slots alias onto a handful of
+			// neighbors and there is nothing to demote, so quick mode keeps
+			// N=60 and trims rounds instead.
+			size := pick(*n, 60, *quick, 60)
+			rounds := 6
+			if *quick {
+				rounds = 4
+			}
+			fmt.Print(experiment.Tree(size, 8, rounds, *seed))
 		case "backpressure":
 			// The slow-consumer scenario needs enough stable members for 8
 			// publishers + 8 flooders + the slow node; N stays >= 48 even in
@@ -156,7 +167,7 @@ func run() int {
 
 	if *exp == "all" {
 		for _, name := range []string{"table1", "robustness", "fig4", "fig6", "fig7",
-			"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "batching", "wirecodec", "egress", "frames", "backpressure"} {
+			"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "batching", "wirecodec", "egress", "frames", "tree", "backpressure"} {
 			runOne(name)
 		}
 		return 0

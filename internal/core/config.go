@@ -191,6 +191,10 @@ const (
 	EventEviction
 	// EventShuffleDone counts a completed whole-group shuffle.
 	EventShuffleDone
+	// EventDuplicateDelivery counts a gossip payload accepted for a
+	// broadcast this node had already delivered (the dissemination-tree
+	// redundancy being pruned away; see tree.go).
+	EventDuplicateDelivery
 )
 
 // Config configures one Atum node.
@@ -259,6 +263,24 @@ type Config struct {
 	// bytes (incl. per-item framing). 0 selects the default (8 MiB);
 	// negative disables the byte bound.
 	EgressQueueBytes int
+	// TreeGossip enables the Plumtree-style dissemination tree over the
+	// gossip phase (tree.go): links that deliver duplicates are demoted to
+	// lazy and carry batched IHAVE digests instead of payloads; a receiver
+	// missing an announced broadcast grafts the link back to eager. Off by
+	// default — the flood path is the paper's baseline. Runtime-togglable
+	// via SetTreeGossip.
+	TreeGossip bool
+	// TreeGraftTimeout is how long a node waits after the first IHAVE for
+	// an undelivered broadcast before grafting the announcing link. It must
+	// exceed the lazy digest flush cadence (TreeIHaveEvery rounds) plus the
+	// eager path's expected delivery skew. 0 selects the default
+	// (4 × RoundDuration).
+	TreeGraftTimeout time.Duration
+	// TreeIHaveEvery is the lazy digest flush cadence in round ticks:
+	// pending IHAVE entries accumulate per lazy neighbor and flush as one
+	// batched payload every TreeIHaveEvery rounds. 0 selects the default
+	// (2).
+	TreeIHaveEvery int
 	// RequireRawCodec makes SendRaw reject messages whose type is not
 	// registered in the wire extension range (RegisterRawMessage) with
 	// ErrUnregisteredType, instead of silently falling back to the direct /
@@ -326,6 +348,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EgressQueueBytes == 0 {
 		c.EgressQueueBytes = 8 << 20
+	}
+	if c.TreeGraftTimeout <= 0 {
+		c.TreeGraftTimeout = 4 * c.RoundDuration
+	}
+	if c.TreeIHaveEvery <= 0 {
+		c.TreeIHaveEvery = 2
 	}
 	if c.ReplyMode == 0 {
 		if c.Mode == smr.ModeAsync {

@@ -80,6 +80,15 @@ var batchableKinds = map[group.Kind]bool{
 	kindExchangeCancel:  true,
 }
 
+// flushAllEgress drains everything still pending toward the wire before a
+// replicated-state replacement: lazy dissemination-tree announcements first
+// (they enqueue onto the scheduler stamped with their enqueue-time
+// composition), then the scheduler's own queues.
+func (n *Node) flushAllEgress() {
+	n.flushTreeIHaves()
+	n.egress.FlushAll()
+}
+
 // sendViaEgress queues one group-addressed logical message on the egress
 // scheduler. src is the composition the message's MsgID was derived under
 // (usually the current one; the pre-bump composition during reconfiguration
@@ -175,6 +184,10 @@ func (n *Node) handleBatch(from ids.NodeID, m group.GroupMsg) {
 			if im.Payload != nil {
 				n.handleRawItem(from, im.Payload)
 			}
+		case im.Kind == kindIHave || im.Kind == kindGraft || im.Kind == kindPrune:
+			// Tree advisory items bypass the inbox, exactly as when they
+			// arrive as standalone group messages (tree.go).
+			n.handleTreeAdvisory(from, im)
 		case batchableKinds[im.Kind]:
 			if acc, ok := n.inbox.Observe(n.env.Now(), from, im); ok {
 				n.handleAccepted(acc)

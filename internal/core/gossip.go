@@ -95,8 +95,13 @@ func (n *Node) applyBcast(o bcastOp) {
 // (deterministic by default) Forward callback.
 func (n *Node) handleGossip(acc group.Accepted, p gossipPayload) {
 	if !n.markSeen(p.BcastID) {
+		// A duplicate acceptance is the dissemination-tree demotion signal:
+		// this link carried a payload some other link delivered first.
+		n.emit(EventDuplicateDelivery, 1)
+		n.treeDuplicate(acc.Src, p.BcastID)
 		return
 	}
+	n.treeSawPayload(acc.Src.GroupID)
 	d := Delivery{BcastID: p.BcastID, Origin: p.Origin, Data: p.Data, Hops: p.Hops}
 	if n.cfg.Callbacks.Deliver != nil {
 		n.cfg.Callbacks.Deliver(d)
@@ -127,6 +132,7 @@ func (n *Node) forwardGossipWith(d Delivery, opts BroadcastOpts) {
 		expires = n.env.Now() + opts.TTL
 	}
 	payload := n.encPayload(gossipPayload{BcastID: d.BcastID, Origin: d.Origin, Data: d.Data, Hops: d.Hops + 1})
+	n.treeRemember(d)
 	sent := make(map[group.Key]bool)
 	for c := 0; c < st.nbrs.NumCycles(); c++ {
 		for _, dir := range []overlay.Direction{overlay.Pred, overlay.Succ} {
@@ -139,6 +145,12 @@ func (n *Node) forwardGossipWith(d Delivery, opts BroadcastOpts) {
 				continue
 			}
 			sent[nbr.Key()] = true
+			if n.treeEnabled() && n.treeLazy(nbr.GroupID) {
+				// Lazy tree link: announce instead of pushing the payload
+				// (tree.go); a receiver that misses it grafts the link back.
+				n.treeAnnounce(nbr, d)
+				continue
+			}
 			msgID := gossipMsgID(d.BcastID, st.comp, nbr.GroupID)
 			n.sendViaEgressWith(st.comp, nbr, kindGossip, msgID, payload,
 				egress.Class(opts.Priority), expires)

@@ -304,7 +304,7 @@ func (n *Node) adoptSnapshot(acc group.Accepted, p snapshotPayload) {
 func (n *Node) installGroupState(st *groupState) {
 	// Epoch catch-up can replace the state of a member with egress batches
 	// still pending under the old epoch; send them stamped with it first.
-	n.egress.FlushAll()
+	n.flushAllEgress()
 	if n.replica != nil {
 		n.replica.Stop()
 		n.replica = nil

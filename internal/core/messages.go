@@ -122,6 +122,16 @@ const (
 	// Raw items are link-authenticated only: they bypass the inbox and go
 	// straight to OnRawMessage, exactly like a direct SendRaw.
 	kindRaw
+	// Dissemination-tree advisory kinds (tree.go). Like kindRaw they are
+	// link-authenticated only and bypass the inbox: tree link state is
+	// member-local, advisory, and self-healing (a wrong belief costs a graft
+	// round trip, never delivery), so majority-matching them would only add
+	// cost. kindIHave announces broadcast IDs over lazy links, kindGraft
+	// re-promotes a link and requests missed payloads, kindPrune reports a
+	// duplicate delivery (f+1 distinct senders demote the link).
+	kindIHave
+	kindGraft
+	kindPrune
 )
 
 // --- group message payloads (wire-envelope encoded — see wirecodec.go and
@@ -133,6 +143,32 @@ type gossipPayload struct {
 	Origin  ids.NodeID
 	Data    []byte
 	Hops    int
+}
+
+// iHaveEntry announces one broadcast available over a lazy tree link.
+type iHaveEntry struct {
+	BcastID crypto.Digest
+	Hops    int // hop count the payload would arrive with (entry stamp)
+}
+
+// iHavePayload batches the broadcast IDs a lazy link would have carried
+// since the last flush — a compact digest ride-along on existing egress
+// carriers instead of full payloads (tree.go).
+type iHavePayload struct {
+	Entries []iHaveEntry
+}
+
+// graftPayload re-promotes the sender's link to the receiving vgroup to
+// eager and requests re-delivery of the listed missed broadcasts.
+type graftPayload struct {
+	BcastIDs []crypto.Digest
+}
+
+// prunePayload reports a duplicate delivery to the sending vgroup: the
+// receiver already had BcastID when the sender's copy was accepted. A link is
+// demoted to lazy only at f+1 distinct prune senders from the same vgroup.
+type prunePayload struct {
+	BcastID crypto.Digest
 }
 
 // WalkPurpose distinguishes what a random walk selects a vgroup for.
@@ -392,6 +428,9 @@ var kindPayloads = map[group.Kind]any{
 	kindMergeReject:     mergeRejectPayload{},
 	kindSnapshot:        snapshotPayload{},
 	kindJoinRedirect:    joinRedirectPayload{},
+	kindIHave:           iHavePayload{},
+	kindGraft:           graftPayload{},
+	kindPrune:           prunePayload{},
 }
 
 // encodePayload encodes a payload struct through the deterministic wire

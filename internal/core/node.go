@@ -130,6 +130,10 @@ type Node struct {
 	// pen buffers SMR envelopes for configurations not installed yet.
 	pen map[group.Key][]penMsg
 
+	// tree is the member-local dissemination-tree state (tree.go); inert
+	// unless Config.TreeGossip is on.
+	tree *treeState
+
 	stopped bool
 }
 
@@ -182,6 +186,7 @@ func New(cfg Config) *Node {
 		snapShares:     make(map[snapShareKey]*snapTally),
 		recentSnaps:    make(map[uint64][]byte),
 		reShared:       make(map[ids.NodeID]time.Duration),
+		tree:           newTreeState(),
 	}
 	n.inbox = group.NewInbox(n.lookupComp)
 	n.egress = n.newEgress()
@@ -269,6 +274,8 @@ func (n *Node) Timer(_ actor.TimerID, data any) {
 		if n.replica != nil && t.epoch == n.replicaEpoch && !n.byzActive() {
 			n.replica.HandleTimer(t.data)
 		}
+	case treeMissTimer:
+		n.handleTreeMiss(t.BcastID)
 	}
 }
 
@@ -315,6 +322,12 @@ func (n *Node) routeGroupMsg(from ids.NodeID, m group.GroupMsg) {
 		if m.Payload != nil {
 			n.handleRawItem(from, m.Payload)
 		}
+		return
+	}
+	if m.Kind == kindIHave || m.Kind == kindGraft || m.Kind == kindPrune {
+		// Dissemination-tree advisory traffic is link-authenticated only
+		// and never enters the inbox (tree.go).
+		n.handleTreeAdvisory(from, m)
 		return
 	}
 	if n.cfg.ReplyMode == ReplyCertificates {
@@ -416,6 +429,13 @@ func (n *Node) handleTick() {
 	now := n.env.Now()
 	n.round = uint64(now / n.cfg.RoundDuration)
 	n.env.SetTimer(n.cfg.RoundDuration, tickTimer{})
+
+	// Lazy dissemination-tree digests flush on their round cadence, ahead
+	// of the deferred-batch framing below so they ride this round's
+	// carriers (tree.go).
+	if n.treeEnabled() && n.round%uint64(n.cfg.TreeIHaveEvery) == 0 {
+		n.flushTreeIHaves()
+	}
 
 	// The lockstep round is the ModeSync batching window: frame pending
 	// deferred egress batches first so they depart with this round's

@@ -62,6 +62,9 @@ func gobTestRegister() {
 		gob.Register(shuffleStartOp{})
 		gob.Register(walkTimeoutOp{})
 		gob.Register(mergeStartOp{})
+		gob.Register(iHavePayload{})
+		gob.Register(graftPayload{})
+		gob.Register(prunePayload{})
 	})
 }
 
@@ -193,6 +196,12 @@ func fullPayloadValues() []any {
 		shuffleStartOp{GroupID: 25, Epoch: 11},
 		walkTimeoutOp{WalkID: wcDigest(10)},
 		mergeStartOp{GroupID: 26, Epoch: 12, Attempt: 2},
+		iHavePayload{Entries: []iHaveEntry{
+			{BcastID: wcDigest(16), Hops: 2},
+			{BcastID: wcDigest(17), Hops: 5},
+		}},
+		graftPayload{BcastIDs: []crypto.Digest{wcDigest(18), wcDigest(19)}},
+		prunePayload{BcastID: wcDigest(20)},
 	}
 }
 
@@ -293,7 +302,7 @@ func TestWireEnvelopeDeterministic(t *testing.T) {
 // payloads are a group-layer batch frame and an application extension frame
 // respectively).
 func TestKindPayloadRegistry(t *testing.T) {
-	for k := kindGossip; k <= kindRaw; k++ {
+	for k := kindGossip; k <= kindPrune; k++ {
 		if k == kindBatch || k == kindRaw {
 			if _, ok := kindPayloads[k]; ok {
 				t.Fatalf("kind %d must not be in kindPayloads (carrier/extension frames are not engine payloads)", k)

@@ -1,0 +1,42 @@
+package experiment
+
+import "testing"
+
+// TestTreeReducesLinkMessages pins the PR's acceptance bar at system level:
+// under the churn-storm + 8-publisher scenario at N=60, the eager/lazy
+// dissemination tree cuts per-link messages by at least 25% against the
+// flood-everywhere gossip phase, at 100% delivery on stable members, and
+// the duplicate-delivery count drops with them. (The headline bench bar is
+// ≥35% — `atum-bench -exp tree`; the test bar keeps seed-variance margin.)
+// The scale is deliberate: below ~8 vgroups the H-graph's cycle slots alias
+// onto a handful of distinct neighbor groups and churn-control batches keep
+// every link pair warm, so there is little redundant fan-out to prune.
+func TestTreeReducesLinkMessages(t *testing.T) {
+	flood, err := TreeRun(60, 8, 6, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := TreeRun(60, 8, 6, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flood.Delivered < 1 || tree.Delivered < 1 {
+		t.Fatalf("delivery not 100%%: flood %.3f, tree %.3f", flood.Delivered, tree.Delivered)
+	}
+	if flood.LinkMsgsPerBcast <= 0 {
+		t.Fatalf("degenerate baseline: %+v", flood)
+	}
+	reduction := 1 - tree.LinkMsgsPerBcast/flood.LinkMsgsPerBcast
+	if reduction < 0.25 {
+		t.Fatalf("per-link message reduction %.1f%% < 25%% (flood %.0f, tree %.0f)",
+			100*reduction, flood.LinkMsgsPerBcast, tree.LinkMsgsPerBcast)
+	}
+	// The tree must actually suppress redundant deliveries, not just move
+	// traffic around: duplicates per broadcast must drop too.
+	if tree.DupsPerBcast >= flood.DupsPerBcast {
+		t.Fatalf("duplicates did not drop: %.1f -> %.1f", flood.DupsPerBcast, tree.DupsPerBcast)
+	}
+	t.Logf("link msgs/bcast %.0f -> %.0f (%.1f%% reduction), dups/bcast %.1f -> %.1f, delivery %.2f/%.2f",
+		flood.LinkMsgsPerBcast, tree.LinkMsgsPerBcast, 100*reduction,
+		flood.DupsPerBcast, tree.DupsPerBcast, flood.Delivered, tree.Delivered)
+}
