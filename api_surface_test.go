@@ -51,7 +51,7 @@ func TestSendErrorsSurfaceAtPublicAPI(t *testing.T) {
 	c := atum.NewSimCluster(atum.SimOptions{Seed: 12})
 	n := c.AddNode(atum.Callbacks{Deliver: func(atum.Delivery) {}})
 	// Not yet a member: broadcast refuses.
-	if err := n.Broadcast([]byte("x")); !errors.Is(err, atum.ErrNotMember) {
+	if err := n.BroadcastWith([]byte("x"), atum.BroadcastOpts{}); !errors.Is(err, atum.ErrNotMember) {
 		t.Fatalf("Broadcast before membership returned %v, want ErrNotMember", err)
 	}
 	// Node created but runtime not started: raw sends refuse instead of
@@ -62,7 +62,7 @@ func TestSendErrorsSurfaceAtPublicAPI(t *testing.T) {
 		Scheme:     crypto.SimScheme{},
 		Mode:       atum.ModeSync,
 	})
-	if err := free.SendRaw(1, struct{}{}); !errors.Is(err, atum.ErrNotRunning) {
+	if err := free.SendRawWith(1, struct{}{}, atum.SendOpts{}); !errors.Is(err, atum.ErrNotRunning) {
 		t.Fatalf("SendRaw without a runtime returned %v, want ErrNotRunning", err)
 	}
 }

@@ -212,11 +212,11 @@ func (s *Service) Put(name string, content []byte) (FileMeta, error) {
 		meta.ChunkDigests = append(meta.ChunkDigests, crypto.Hash(nil))
 	}
 	s.chunks[key] = parts
-	if err := s.node.Broadcast(encodeRecord(putRecord{Meta: meta})); err != nil {
+	if err := s.node.BroadcastWith(encodeRecord(putRecord{Meta: meta}), atum.BroadcastOpts{}); err != nil {
 		return FileMeta{}, err
 	}
 	// Announce ourselves as the first replica.
-	if err := s.node.Broadcast(encodeRecord(replicaRecord{Key: key, Node: key.Owner})); err != nil {
+	if err := s.node.BroadcastWith(encodeRecord(replicaRecord{Key: key, Node: key.Owner}), atum.BroadcastOpts{}); err != nil {
 		return FileMeta{}, err
 	}
 	return meta, nil
@@ -229,7 +229,7 @@ func (s *Service) Delete(name string) error {
 		return errors.New("ashare: unbound service")
 	}
 	key := FileKey{Owner: s.node.Identity().ID, Name: name}
-	return s.node.Broadcast(encodeRecord(deleteRecord{Key: key}))
+	return s.node.BroadcastWith(encodeRecord(deleteRecord{Key: key}), atum.BroadcastOpts{})
 }
 
 // Search returns the metadata of files whose key contains the term (§4.2.2:
@@ -290,7 +290,7 @@ func (s *Service) pump(key FileKey, g *getState) {
 			// no response ever arrives and nothing retries. Treat the send
 			// failure like a failed replica for this chunk and re-pick —
 			// exhausting every replica fails the GET explicitly.
-			if err := s.node.SendRaw(target, chunkRequest{Key: key, Idx: idx}); err != nil {
+			if err := s.node.SendRawWith(target, chunkRequest{Key: key, Idx: idx}, atum.SendOpts{}); err != nil {
 				tried := g.tried[idx]
 				if tried == nil {
 					tried = make(map[atum.NodeID]bool)
@@ -370,7 +370,7 @@ func (s *Service) HandleRaw(from atum.NodeID, msg any) {
 			atum.SendOpts{Priority: atum.PriorityData})
 		if err != nil {
 			s.shedServes++
-			_ = s.node.SendRaw(from, chunkResponse{Key: m.Key, Idx: m.Idx})
+			_ = s.node.SendRawWith(from, chunkResponse{Key: m.Key, Idx: m.Idx}, atum.SendOpts{})
 		}
 	case chunkResponse:
 		s.handleChunk(from, m)
@@ -483,7 +483,7 @@ func (s *Service) maybeReplicate(key FileKey) {
 			parts = append(parts, content[off:end])
 		}
 		s.chunks[key] = parts
-		_ = s.node.Broadcast(encodeRecord(replicaRecord{Key: key, Node: self}))
+		_ = s.node.BroadcastWith(encodeRecord(replicaRecord{Key: key, Node: self}), atum.BroadcastOpts{})
 	})
 }
 

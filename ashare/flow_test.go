@@ -56,7 +56,7 @@ func TestGetFailsFastWhenRequestsShed(t *testing.T) {
 	// for an unknown file are simply ignored at the replica.
 	bogus := FileKey{Owner: 99, Name: "nope"}
 	for i := 0; i < 4*limit; i++ {
-		_ = nodes[1].SendRaw(nodes[0].Identity().ID, chunkRequest{Key: bogus, Idx: i})
+		_ = nodes[1].SendRawWith(nodes[0].Identity().ID, chunkRequest{Key: bogus, Idx: i}, atum.SendOpts{})
 	}
 
 	done := make(chan error, 1)

@@ -116,7 +116,7 @@ func (ri *RingIndex) Put(meta FileMeta) error {
 			ri.store[meta.Key] = meta
 			continue
 		}
-		ri.node.SendRaw(h, ringStore{Meta: meta})
+		ri.node.SendRawWith(h, ringStore{Meta: meta}, atum.SendOpts{})
 	}
 	return nil
 }
@@ -128,7 +128,7 @@ func (ri *RingIndex) Delete(key FileKey) {
 			delete(ri.store, key)
 			continue
 		}
-		ri.node.SendRaw(h, ringErase{Key: key})
+		ri.node.SendRawWith(h, ringErase{Key: key}, atum.SendOpts{})
 	}
 }
 
@@ -158,7 +158,7 @@ func (ri *RingIndex) Lookup(key FileKey, done func(FileMeta, error)) uint64 {
 			ri.acceptReply(seq, h, ringFound{Seq: seq, Has: ok, Meta: meta})
 			continue
 		}
-		ri.node.SendRaw(h, ringGet{Seq: seq, Key: key})
+		ri.node.SendRawWith(h, ringGet{Seq: seq, Key: key}, atum.SendOpts{})
 	}
 	return seq
 }
@@ -188,7 +188,7 @@ func (ri *RingIndex) HandleRaw(from atum.NodeID, msg any) bool {
 				ChunkDigests: []crypto.Digest{crypto.Hash([]byte("forged"))}}
 			ok = true
 		}
-		ri.node.SendRaw(from, ringFound{Seq: m.Seq, Has: ok, Meta: meta})
+		ri.node.SendRawWith(from, ringFound{Seq: m.Seq, Has: ok, Meta: meta}, atum.SendOpts{})
 		return true
 	case ringFound:
 		ri.acceptReply(m.Seq, from, m)

@@ -189,7 +189,7 @@ func (s *Service) Shed() uint64 { return s.shed }
 // Publish sends one stream chunk: the digest through Atum (tier 1), the
 // data through the push multicast (tier 2).
 func (s *Service) Publish(seq uint64, data []byte) error {
-	if err := s.node.Broadcast(encodeStream(digestMsg{Seq: seq, Digest: crypto.Hash(data)})); err != nil {
+	if err := s.node.BroadcastWith(encodeStream(digestMsg{Seq: seq, Digest: crypto.Hash(data)}), atum.BroadcastOpts{}); err != nil {
 		return err
 	}
 	s.pushData(dataMsg{Seq: seq, Data: data}, false)

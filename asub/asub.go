@@ -76,7 +76,9 @@ func (p *Participant) Unsubscribe() error { return p.node.Leave() }
 // atum.ErrBroadcastTooLarge for oversized events — check with errors.Is and
 // re-publish after Subscribe completes, rather than assuming the event went
 // out.
-func (p *Participant) Publish(data []byte) error { return p.node.Broadcast(data) }
+func (p *Participant) Publish(data []byte) error {
+	return p.node.BroadcastWith(data, atum.BroadcastOpts{})
+}
 
 // PublishWith is Publish with flow-control options: a priority class and an
 // egress TTL for the publisher's first-hop gossip (atum.BroadcastOpts).

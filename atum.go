@@ -15,7 +15,8 @@
 //	node := atum.NewNode(cfg)            // create a node
 //	node.Bootstrap()                     // first node: create the instance
 //	node.Join(contact)                   // everyone else: join via a contact
-//	node.Broadcast([]byte("hello"))      // disseminate to every node
+//	node.BroadcastWith([]byte("hello"),
+//		atum.BroadcastOpts{})            // disseminate to every node
 //	node.Leave()                         // leave the system
 //
 // Applications receive messages through Callbacks.Deliver and shape the
@@ -247,16 +248,13 @@ func (n *Node) Join(contact Identity) error { return n.inner.Join(contact) }
 // Leave requests removal from the system.
 func (n *Node) Leave() error { return n.inner.Leave() }
 
-// Broadcast disseminates data to every node in the system. It is
-// BroadcastWith with default options — the paper's zero-option signature,
-// kept as a thin wrapper until the next API-breaking release (see
-// "Migration from the zero-option signatures" in docs/API.md).
-func (n *Node) Broadcast(data []byte) error { return n.inner.Broadcast(data) }
-
-// BroadcastWith is Broadcast with flow-control options: a priority class
-// and an optional TTL bounding how long the origin's first-hop gossip items
-// may wait in its egress queues before being dropped as stale (see
-// docs/API.md; remote forwarders use defaults).
+// BroadcastWith disseminates data to every node in the system, with
+// flow-control options: a priority class and an optional TTL bounding how
+// long the origin's first-hop gossip items may wait in its egress queues
+// before being dropped as stale (see docs/API.md; remote forwarders use
+// defaults). BroadcastOpts{} gives the paper's zero-option behaviour; the
+// former Broadcast(data) wrapper was removed in the scheduled API-breaking
+// release ("Migration from the zero-option signatures" in docs/API.md).
 func (n *Node) BroadcastWith(data []byte, opts BroadcastOpts) error {
 	return n.inner.BroadcastWith(data, opts)
 }
@@ -275,16 +273,13 @@ func (n *Node) GroupSize() int { return n.inner.Comp().N() }
 // engine state.
 func (n *Node) GroupMembers() []Identity { return n.inner.Comp().Members }
 
-// SendRaw sends an application-level message to another node (delivered to
-// its Config.OnRawMessage hook). It reports failures instead of silently
-// dropping — ErrNotRunning, ErrEgressOverflow, ErrUnregisteredType (see
-// docs/API.md); pre-existing callers may keep ignoring the result. It is
-// SendRawWith with default options, kept as a thin wrapper until the next
-// API-breaking release (see docs/API.md).
-func (n *Node) SendRaw(to NodeID, msg any) error { return n.inner.SendRaw(to, msg) }
-
-// SendRawWith is SendRaw with flow-control options (priority class, egress
-// queue-residency TTL).
+// SendRawWith sends an application-level message to another node
+// (delivered to its Config.OnRawMessage hook), with flow-control options
+// (priority class, egress queue-residency TTL); SendOpts{} means defaults.
+// It reports failures instead of silently dropping — ErrNotRunning,
+// ErrEgressOverflow, ErrUnregisteredType (see docs/API.md). The former
+// SendRaw(to, msg) wrapper was removed in the scheduled API-breaking
+// release ("Migration from the zero-option signatures" in docs/API.md).
 func (n *Node) SendRawWith(to NodeID, msg any, opts SendOpts) error {
 	return n.inner.SendRawWith(to, msg, opts)
 }

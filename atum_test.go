@@ -45,7 +45,7 @@ func TestPublicAPIBroadcast(t *testing.T) {
 		})
 		return n
 	})
-	if err := nodes[1].Broadcast([]byte("api")); err != nil {
+	if err := nodes[1].BroadcastWith([]byte("api"), atum.BroadcastOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	cluster.Run(15 * time.Second)

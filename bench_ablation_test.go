@@ -152,7 +152,7 @@ func BenchmarkAblationForwardFanout(b *testing.B) {
 				cl = c
 				before := c.Net.Stats().Sent
 				start := c.Now()
-				if err := nodes[0].Broadcast([]byte("ablate")); err != nil {
+				if err := nodes[0].BroadcastWith([]byte("ablate"), atum.BroadcastOpts{}); err != nil {
 					b.Fatal(err)
 				}
 				c.RunUntil(func() bool {

@@ -65,7 +65,7 @@ func churnJoins(t *testing.T, tweak func(*atum.Config)) error {
 			return fmt.Errorf("churn join %d timed out", event)
 		}
 		nodes = append(nodes, fresh)
-		_ = nodes[0].Broadcast([]byte(fmt.Sprintf("update-%d", event)))
+		_ = nodes[0].BroadcastWith([]byte(fmt.Sprintf("update-%d", event)), atum.BroadcastOpts{})
 	}
 	return nil
 }

@@ -168,7 +168,7 @@ func main() {
 			if line == "" {
 				continue
 			}
-			if err := rt.Broadcast(node, []byte(line)); err != nil {
+			if err := rt.BroadcastWith(node, []byte(line), atum.BroadcastOpts{}); err != nil {
 				log.Printf("broadcast: %v", err)
 			}
 		}

@@ -60,7 +60,7 @@ func measureIdleLatency(t *testing.T, maxBatch int, seed int64) []time.Duration 
 	for b := 0; b < 4; b++ {
 		payload := "idle-" + string(rune('a'+b))
 		start := cluster.Now()
-		if err := nodes[1].Broadcast([]byte(payload)); err != nil {
+		if err := nodes[1].BroadcastWith([]byte(payload), atum.BroadcastOpts{}); err != nil {
 			t.Fatal(err)
 		}
 		ok := cluster.RunUntil(func() bool {

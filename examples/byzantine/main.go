@@ -83,7 +83,7 @@ func run() error {
 		for r := 0; r < rounds; r++ {
 			msg := fmt.Sprintf("%s-%d", label, r)
 			start := cluster.Now()
-			if err := nodes[0].Broadcast([]byte(msg)); err != nil {
+			if err := nodes[0].BroadcastWith([]byte(msg), atum.BroadcastOpts{}); err != nil {
 				return 0, err
 			}
 			cluster.RunUntil(func() bool {

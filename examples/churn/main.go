@@ -100,7 +100,7 @@ func run() error {
 		// The publisher keeps broadcasting through the turbulence; the
 		// freshly joined node must deliver too.
 		msg := fmt.Sprintf("update-%d", event)
-		if err := publisher.Broadcast([]byte(msg)); err != nil {
+		if err := publisher.BroadcastWith([]byte(msg), atum.BroadcastOpts{}); err != nil {
 			return err
 		}
 		bcasts++

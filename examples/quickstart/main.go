@@ -50,7 +50,7 @@ func run() error {
 	}
 
 	// Broadcast from node 3.
-	if err := nodes[2].Broadcast([]byte("hello, volatile groups!")); err != nil {
+	if err := nodes[2].BroadcastWith([]byte("hello, volatile groups!"), atum.BroadcastOpts{}); err != nil {
 		return err
 	}
 	cluster.Run(10 * time.Second)

@@ -134,7 +134,7 @@ func main() {
 	}
 
 	msg := "hello from n3, over real sockets"
-	if err := members[2].rt.Broadcast(members[2].node, []byte(msg)); err != nil {
+	if err := members[2].rt.BroadcastWith(members[2].node, []byte(msg), atum.BroadcastOpts{}); err != nil {
 		log.Fatal(err)
 	}
 	for {

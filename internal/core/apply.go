@@ -224,6 +224,7 @@ func (n *Node) reconfigure(newMembers []ids.Identity, cause reconfigCause, added
 			continue
 		}
 		msgID := snapMsgID(old, m.ID)
+		//atumvet:allow egressonly node-addressed snapshot under the pre-bump composition; unbatchable (unbatchedKinds) and needed before the epoch advances
 		group.SendToNode(n.sendNow, old, n.cfg.Identity.ID, m.ID, kindSnapshot, msgID, snap)
 	}
 	n.cacheSnapshot(old.Epoch, snap)

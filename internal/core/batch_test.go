@@ -40,7 +40,7 @@ func TestBatchedBroadcastDeliveredOnce(t *testing.T) {
 	for round := 0; round < 3; round++ {
 		for i := 0; i < 4; i++ {
 			p := fmt.Sprintf("dup-%d-%d", round, i)
-			if err := nodes[i].Broadcast([]byte(p)); err != nil {
+			if err := nodes[i].BroadcastWith([]byte(p), BroadcastOpts{}); err != nil {
 				t.Fatalf("broadcast %s: %v", p, err)
 			}
 			payloads = append(payloads, p)
@@ -88,10 +88,10 @@ func TestForwardVetoPerInnerBroadcast(t *testing.T) {
 	originGroup := origin.Comp().GroupID
 	// Interleave vetoed and forwarded payloads in the same flush windows.
 	for i := 0; i < 3; i++ {
-		if err := origin.Broadcast([]byte(fmt.Sprintf("local-%d", i))); err != nil {
+		if err := origin.BroadcastWith([]byte(fmt.Sprintf("local-%d", i)), BroadcastOpts{}); err != nil {
 			t.Fatal(err)
 		}
-		if err := origin.Broadcast([]byte(fmt.Sprintf("global-%d", i))); err != nil {
+		if err := origin.BroadcastWith([]byte(fmt.Sprintf("global-%d", i)), BroadcastOpts{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -446,7 +446,7 @@ func TestBroadcastRejectsOversizedPayload(t *testing.T) {
 	nbr := testComp(9, 1, 4, 5, 6)
 	n, _ := memberNode(t, self, comp, nbr)
 
-	if err := n.Broadcast(make([]byte, MaxBroadcastBytes+1)); err != ErrBroadcastTooLarge {
+	if err := n.BroadcastWith(make([]byte, MaxBroadcastBytes+1), BroadcastOpts{}); err != ErrBroadcastTooLarge {
 		t.Fatalf("oversized Broadcast returned %v, want ErrBroadcastTooLarge", err)
 	}
 	if dests, _ := n.egress.Pending(); dests != 0 || n.opSeq != 0 {

@@ -34,7 +34,7 @@ func TestBootstrapSingleNode(t *testing.T) {
 				}
 			}
 			// A broadcast in a single-node system delivers locally.
-			if err := n.Broadcast([]byte("solo")); err != nil {
+			if err := n.BroadcastWith([]byte("solo"), BroadcastOpts{}); err != nil {
 				t.Fatal(err)
 			}
 			h.net.Run(h.net.Now() + 5*time.Second)
@@ -71,7 +71,7 @@ func TestBroadcastReachesAllNodes(t *testing.T) {
 			nodes := h.bootstrapSystem(mode, 5, 60*time.Second)
 			h.net.Run(h.net.Now() + 2*time.Second)
 
-			if err := nodes[2].Broadcast([]byte("hello-all")); err != nil {
+			if err := nodes[2].BroadcastWith([]byte("hello-all"), BroadcastOpts{}); err != nil {
 				t.Fatal(err)
 			}
 			h.net.Run(h.net.Now() + 20*time.Second)
@@ -97,7 +97,7 @@ func TestBroadcastDeliveredOnce(t *testing.T) {
 	h := newHarness(t, smr.ModeSync, 4, nil)
 	nodes := h.bootstrapSystem(smr.ModeSync, 5, 60*time.Second)
 	h.net.Run(h.net.Now() + 2*time.Second)
-	if err := nodes[0].Broadcast([]byte("once")); err != nil {
+	if err := nodes[0].BroadcastWith([]byte("once"), BroadcastOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	h.net.Run(h.net.Now() + 20*time.Second)
@@ -129,7 +129,7 @@ func TestSplitKeepsSystemConnected(t *testing.T) {
 		t.Error("no split event emitted")
 	}
 	// Broadcast must still reach everyone across groups.
-	if err := nodes[0].Broadcast([]byte("after-split")); err != nil {
+	if err := nodes[0].BroadcastWith([]byte("after-split"), BroadcastOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	h.net.Run(h.net.Now() + 20*time.Second)
@@ -253,7 +253,7 @@ func TestGrowTo16NodesBothModes(t *testing.T) {
 				t.Errorf("16 nodes with gmax=6 should occupy several vgroups, got %d", len(groups))
 			}
 			// System-wide broadcast.
-			if err := nodes[0].Broadcast([]byte("big")); err != nil {
+			if err := nodes[0].BroadcastWith([]byte("big"), BroadcastOpts{}); err != nil {
 				t.Fatal(err)
 			}
 			h.net.Run(h.net.Now() + 30*time.Second)
@@ -306,7 +306,7 @@ func TestByzantineSilentTolerated(t *testing.T) {
 	// Turn node 4 Byzantine-silent in place.
 	nodes[4].cfg.Behavior = BehaviorSilent
 
-	if err := nodes[1].Broadcast([]byte("despite-byz")); err != nil {
+	if err := nodes[1].BroadcastWith([]byte("despite-byz"), BroadcastOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	h.net.Run(h.net.Now() + 20*time.Second)

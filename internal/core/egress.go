@@ -184,13 +184,21 @@ func (n *Node) handleBatch(from ids.NodeID, m group.GroupMsg) {
 			if im.Payload != nil {
 				n.handleRawItem(from, im.Payload)
 			}
-		case im.Kind == kindIHave || im.Kind == kindGraft || im.Kind == kindPrune:
+		case advisoryKinds[im.Kind]:
 			// Tree advisory items bypass the inbox, exactly as when they
 			// arrive as standalone group messages (tree.go).
 			n.handleTreeAdvisory(from, im)
 		case batchableKinds[im.Kind]:
 			if acc, ok := n.inbox.Observe(n.env.Now(), from, im); ok {
 				n.handleAccepted(acc)
+			}
+		default:
+			// Unknown tags drop silently; a known-but-unbatchable kind
+			// inside a carrier is a sender bug (or a hostile frame trying
+			// to smuggle node-addressed traffic past its handler's
+			// assumptions) and is worth a log line.
+			if unbatchedKinds[im.Kind] {
+				n.logf("egress batch from %v: kind %d is not batchable, dropped", from, im.Kind)
 			}
 		}
 	}

@@ -310,7 +310,7 @@ func TestSendRawRegisteredTypeBatches(t *testing.T) {
 	n, env := memberNode(t, self, comp, nbr)
 
 	// First send to an idle node: immediate, as a kindRaw group message.
-	n.SendRaw(4, egressTestMsg{Seq: 1, Body: []byte("a")})
+	n.SendRawWith(4, egressTestMsg{Seq: 1, Body: []byte("a")}, SendOpts{})
 	if len(env.sent) != 1 {
 		t.Fatalf("idle SendRaw sent %d messages, want 1", len(env.sent))
 	}
@@ -319,7 +319,7 @@ func TestSendRawRegisteredTypeBatches(t *testing.T) {
 	}
 	// A burst coalesces: only the leading send leaves before the window.
 	for i := 0; i < 5; i++ {
-		n.SendRaw(4, egressTestMsg{Seq: uint64(2 + i), Body: []byte("b")})
+		n.SendRawWith(4, egressTestMsg{Seq: uint64(2 + i), Body: []byte("b")}, SendOpts{})
 	}
 	if len(env.sent) >= 6 {
 		t.Fatalf("burst SendRaw sent %d messages, want coalescing", len(env.sent))
@@ -330,7 +330,7 @@ func TestSendRawRegisteredTypeBatches(t *testing.T) {
 	// Unregistered types bypass the scheduler entirely.
 	type plainMsg struct{ X int }
 	before := len(env.sent)
-	n.SendRaw(5, plainMsg{X: 1})
+	n.SendRawWith(5, plainMsg{X: 1}, SendOpts{})
 	if len(env.sent) != before+1 {
 		t.Fatal("unregistered raw type did not go direct")
 	}

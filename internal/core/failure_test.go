@@ -162,7 +162,7 @@ func TestBroadcastSurvivesMessageLoss(t *testing.T) {
 	})
 	nodes := h.bootstrapSystem(smr.ModeSync, 8, 90*time.Second)
 
-	if err := nodes[2].Broadcast([]byte("lossy-net")); err != nil {
+	if err := nodes[2].BroadcastWith([]byte("lossy-net"), BroadcastOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	deadline := h.net.Now() + 60*time.Second
@@ -263,7 +263,7 @@ func TestCrashesWithinFaultBoundDoNotStopBroadcast(t *testing.T) {
 	h.net.Crash(nodes[8].cfg.Identity.ID)
 	h.net.Run(h.net.Now() + 2*time.Second)
 
-	if err := nodes[0].Broadcast([]byte("after-crashes")); err != nil {
+	if err := nodes[0].BroadcastWith([]byte("after-crashes"), BroadcastOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	deadline := h.net.Now() + 60*time.Second
@@ -380,7 +380,7 @@ func TestLaggardCatchesUpAfterPartition(t *testing.T) {
 
 	// And it participates again: a broadcast from the laggard reaches the
 	// whole system, including the laggard itself.
-	if err := laggard.Broadcast([]byte("back-from-the-dead")); err != nil {
+	if err := laggard.BroadcastWith([]byte("back-from-the-dead"), BroadcastOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	reached := func() bool {
@@ -431,7 +431,7 @@ func TestTotalPartitionPreservesSafety(t *testing.T) {
 		}
 	}
 	h.net.SetPartitions(a, b)
-	if err := nodes[0].Broadcast([]byte("during-partition")); err != nil {
+	if err := nodes[0].BroadcastWith([]byte("during-partition"), BroadcastOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	h.net.Run(h.net.Now() + 20*time.Second)

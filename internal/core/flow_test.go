@@ -22,17 +22,17 @@ func TestSendRawNotRunningTyped(t *testing.T) {
 	h := newHarness(t, smr.ModeSync, 1, nil)
 	n := New(h.defaultConfig(99, smr.ModeSync))
 	// Not attached to any runtime yet.
-	if err := n.SendRaw(1, egressTestMsg{Seq: 1}); !errors.Is(err, ErrNotRunning) {
+	if err := n.SendRawWith(1, egressTestMsg{Seq: 1}, SendOpts{}); !errors.Is(err, ErrNotRunning) {
 		t.Fatalf("SendRaw before runtime attach returned %v, want ErrNotRunning", err)
 	}
 	// Attached and running: sends succeed.
 	nodes := h.bootstrapSystem(smr.ModeSync, 2, 20*time.Second)
-	if err := nodes[0].SendRaw(nodes[1].cfg.Identity.ID, egressTestMsg{Seq: 2}); err != nil {
+	if err := nodes[0].SendRawWith(nodes[1].cfg.Identity.ID, egressTestMsg{Seq: 2}, SendOpts{}); err != nil {
 		t.Fatalf("SendRaw on a running node returned %v", err)
 	}
 	// Stopped: typed error again.
 	nodes[0].Stop()
-	if err := nodes[0].SendRaw(nodes[1].cfg.Identity.ID, egressTestMsg{Seq: 3}); !errors.Is(err, ErrNotRunning) {
+	if err := nodes[0].SendRawWith(nodes[1].cfg.Identity.ID, egressTestMsg{Seq: 3}, SendOpts{}); !errors.Is(err, ErrNotRunning) {
 		t.Fatalf("SendRaw after Stop returned %v, want ErrNotRunning", err)
 	}
 }
@@ -54,10 +54,10 @@ func TestSendRawUnregisteredType(t *testing.T) {
 			})
 			nodes := h.bootstrapSystem(smr.ModeSync, 2, 20*time.Second)
 			to := nodes[1].cfg.Identity.ID
-			if err := nodes[0].SendRaw(to, unregisteredRawMsg{X: 1}); !errors.Is(err, ErrUnregisteredType) {
+			if err := nodes[0].SendRawWith(to, unregisteredRawMsg{X: 1}, SendOpts{}); !errors.Is(err, ErrUnregisteredType) {
 				t.Fatalf("unregistered type returned %v, want ErrUnregisteredType", err)
 			}
-			if err := nodes[0].SendRaw(to, egressTestMsg{Seq: 1}); err != nil {
+			if err := nodes[0].SendRawWith(to, egressTestMsg{Seq: 1}, SendOpts{}); err != nil {
 				t.Fatalf("registered type returned %v", err)
 			}
 		})
@@ -67,7 +67,7 @@ func TestSendRawUnregisteredType(t *testing.T) {
 	nodes := h.bootstrapSystem(smr.ModeSync, 2, 20*time.Second)
 	var got []any
 	nodes[1].cfg.OnRawMessage = func(_ ids.NodeID, msg any) { got = append(got, msg) }
-	if err := nodes[0].SendRaw(nodes[1].cfg.Identity.ID, unregisteredRawMsg{X: 7}); err != nil {
+	if err := nodes[0].SendRawWith(nodes[1].cfg.Identity.ID, unregisteredRawMsg{X: 7}, SendOpts{}); err != nil {
 		t.Fatalf("default config rejected an unregistered type: %v", err)
 	}
 	h.net.Run(h.net.Now() + time.Second)
@@ -76,11 +76,12 @@ func TestSendRawUnregisteredType(t *testing.T) {
 	}
 }
 
-// TestOldSendSignaturesStillWork pins the one-release compatibility
-// wrappers: the zero-option Broadcast and SendRaw keep working exactly like
-// their *With counterparts with default options — same delivery, same raw
-// handling — so pre-redesign callers compile and behave unchanged.
-func TestOldSendSignaturesStillWork(t *testing.T) {
+// TestZeroOptSendDefaults pins the migration contract that replaced the
+// removed zero-option wrappers (docs/API.md): BroadcastOpts{} / SendOpts{}
+// behave exactly like the paper-era Broadcast and SendRaw did — same
+// delivery, same raw handling — whether the result is ignored (as
+// pre-redesign callers did) or checked.
+func TestZeroOptSendDefaults(t *testing.T) {
 	registerEgressTestMsg()
 	h := newHarness(t, smr.ModeSync, 3, nil)
 	nodes := h.bootstrapSystem(smr.ModeSync, 3, 20*time.Second)
@@ -89,13 +90,12 @@ func TestOldSendSignaturesStillWork(t *testing.T) {
 		raws = append(raws, msg.(egressTestMsg).Seq)
 	}
 
-	// Old zero-option forms, used exactly as pre-redesign code would
-	// (results ignored).
-	nodes[0].Broadcast([]byte("old-broadcast")) //nolint:errcheck
-	nodes[1].SendRaw(nodes[2].cfg.Identity.ID,  //nolint:errcheck
-		egressTestMsg{Seq: 10, Body: []byte("old")})
+	// Zero-option form with the result ignored, exactly as pre-redesign
+	// code used the removed wrappers.
+	nodes[0].BroadcastWith([]byte("old-broadcast"), BroadcastOpts{}) //nolint:errcheck
+	nodes[1].SendRawWith(nodes[2].cfg.Identity.ID, egressTestMsg{Seq: 10, Body: []byte("old")}, SendOpts{})
 
-	// New forms with explicit default options.
+	// Same forms with the result checked.
 	if err := nodes[0].BroadcastWith([]byte("new-broadcast"), BroadcastOpts{}); err != nil {
 		t.Fatal(err)
 	}

@@ -39,7 +39,7 @@ func TestBatchFrameClusterDelivery(t *testing.T) {
 		for i := 0; i < 4; i++ {
 			for pi, pub := range []*Node{pubA, pubB} {
 				p := fmt.Sprintf("burst-%d-%d-%d", pi, round, i)
-				if err := pub.Broadcast([]byte(p)); err != nil {
+				if err := pub.BroadcastWith([]byte(p), BroadcastOpts{}); err != nil {
 					t.Fatalf("broadcast %s: %v", p, err)
 				}
 				payloads = append(payloads, p)

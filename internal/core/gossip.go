@@ -10,20 +10,15 @@ import (
 	"atum/internal/overlay"
 )
 
-// Broadcast disseminates a message to every node in the system (§3.3.4).
-// Phase one is Byzantine agreement inside the caller's vgroup (the bcastOp
-// below); phase two is gossip over the H-graph, shaped by the application's
-// Forward callback. It is BroadcastWith with default options, kept as the
-// paper's zero-option signature.
-func (n *Node) Broadcast(data []byte) error {
-	return n.BroadcastWith(data, BroadcastOpts{})
-}
-
-// BroadcastWith is Broadcast with flow-control options: a priority class and
-// an optional TTL for the origin's first-hop egress enqueues (remote
-// forwarders use defaults — see BroadcastOpts). Nothing in the wire format
-// changes; the options only shape how the origin's egress scheduler treats
-// this broadcast's gossip items.
+// BroadcastWith disseminates a message to every node in the system
+// (§3.3.4). Phase one is Byzantine agreement inside the caller's vgroup
+// (the bcastOp below); phase two is gossip over the H-graph, shaped by the
+// application's Forward callback. opts carries the flow-control options: a
+// priority class and an optional TTL for the origin's first-hop egress
+// enqueues (remote forwarders use defaults — see BroadcastOpts); the
+// paper's zero-option behaviour is BroadcastOpts{}. Nothing in the wire
+// format changes; the options only shape how the origin's egress scheduler
+// treats this broadcast's gossip items.
 func (n *Node) BroadcastWith(data []byte, opts BroadcastOpts) error {
 	if n.phase != phaseMember || n.st == nil {
 		return ErrNotMember

@@ -52,7 +52,7 @@ func TestMergeOnShrink(t *testing.T) {
 			break
 		}
 	}
-	if err := origin.Broadcast([]byte("post-merge")); err != nil {
+	if err := origin.BroadcastWith([]byte("post-merge"), BroadcastOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	h.net.Run(h.net.Now() + 20*time.Second)

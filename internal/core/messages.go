@@ -433,6 +433,35 @@ var kindPayloads = map[group.Kind]any{
 	kindPrune:           prunePayload{},
 }
 
+// advisoryKinds is the inbox-bypass set: dissemination-tree advisory
+// traffic that is link-authenticated only and dispatches through
+// handleTreeAdvisory (tree.go) whether it arrives standalone or inside a
+// batch carrier. Together with batchableKinds (egress.go) and
+// unbatchedKinds below it partitions the kind registry; the kindcover
+// analyzer checks that every kind* constant lands in exactly one of the
+// three (carriers kindBatch/kindRaw aside) and that each advisory kind
+// has exactly one dispatch switch case.
+var advisoryKinds = map[group.Kind]bool{
+	kindIHave: true,
+	kindGraft: true,
+	kindPrune: true,
+}
+
+// unbatchedKinds are the votable kinds that must never be reachable
+// through a batch carrier: node-addressed handshake replies and
+// special-cased reconfiguration traffic whose handlers assume a
+// standalone, directly-addressed group message. handleBatch drops (and
+// logs) any of these found inside a carrier — a sender bug or a hostile
+// frame, either way not deliverable.
+var unbatchedKinds = map[group.Kind]bool{
+	kindWalkResult:   true,
+	kindMergeRequest: true,
+	kindMergeAccept:  true,
+	kindMergeReject:  true,
+	kindSnapshot:     true,
+	kindJoinRedirect: true,
+}
+
 // encodePayload encodes a payload struct through the deterministic wire
 // envelope (see wirecodec.go): all members of a vgroup produce byte-identical
 // payloads for the same logical value, which is what the group-message digest

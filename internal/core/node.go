@@ -324,7 +324,7 @@ func (n *Node) routeGroupMsg(from ids.NodeID, m group.GroupMsg) {
 		}
 		return
 	}
-	if m.Kind == kindIHave || m.Kind == kindGraft || m.Kind == kindPrune {
+	if advisoryKinds[m.Kind] {
 		// Dissemination-tree advisory traffic is link-authenticated only
 		// and never enters the inbox (tree.go).
 		n.handleTreeAdvisory(from, m)
@@ -348,7 +348,7 @@ func (n *Node) routeGroupMsg(from ids.NodeID, m group.GroupMsg) {
 	}
 }
 
-// SendRaw sends an application-level message to another node; the
+// SendRawWith sends an application-level message to another node; the
 // receiver's OnRawMessage hook gets it. Applications layer their own
 // protocols (file chunks, stream data) on this. Types registered in the
 // wire extension-tag range (RegisterRawMessage) ride the egress scheduler:
@@ -356,21 +356,16 @@ func (n *Node) routeGroupMsg(from ids.NodeID, m group.GroupMsg) {
 // byte-level transports frame them through the wire codec instead of the
 // gob fallback. Unregistered types are sent directly, as before.
 //
-// SendRaw reports failures instead of silently dropping: ErrNotRunning when
-// the node is not attached to a running runtime, ErrEgressOverflow when the
-// destination's bounded egress queue rejected the message (flow control —
-// see Config.EgressQueueLimit), and ErrUnregisteredType when
-// Config.RequireRawCodec is set and the type has no wire codec. It is
-// SendRawWith with default options; callers that predate the typed-error
-// contract may keep ignoring the result.
-func (n *Node) SendRaw(to ids.NodeID, msg any) error {
-	return n.SendRawWith(to, msg, SendOpts{})
-}
-
-// SendRawWith is SendRaw with flow-control options: a priority class
-// (overflow on the destination's bounded queue sheds lower-priority items
-// first) and an optional TTL bounding how long the message may wait in the
-// sender's egress queue before it is dropped as stale.
+// SendRawWith reports failures instead of silently dropping: ErrNotRunning
+// when the node is not attached to a running runtime, ErrEgressOverflow
+// when the destination's bounded egress queue rejected the message (flow
+// control — see Config.EgressQueueLimit), and ErrUnregisteredType when
+// Config.RequireRawCodec is set and the type has no wire codec.
+//
+// opts carries the flow-control options: a priority class (overflow on the
+// destination's bounded queue sheds lower-priority items first) and an
+// optional TTL bounding how long the message may wait in the sender's
+// egress queue before it is dropped as stale; SendOpts{} means defaults.
 func (n *Node) SendRawWith(to ids.NodeID, msg any, opts SendOpts) error {
 	if n.env == nil || n.stopped {
 		return ErrNotRunning
@@ -401,6 +396,7 @@ func (n *Node) SendRawWith(to ids.NodeID, msg any, opts SendOpts) error {
 	} else if n.cfg.RequireRawCodec && !rawRegistered(msg) {
 		return ErrUnregisteredType
 	}
+	//atumvet:allow egressonly unregistered-type raw fallback: gob messages have no wire frame and cannot ride batch carriers
 	n.sendNow(to, msg)
 	return nil
 }
@@ -451,6 +447,7 @@ func (n *Node) handleTick() {
 	out := n.outQ
 	n.outQ = nil
 	for _, q := range out {
+		//atumvet:allow egressonly round-boundary drain of the quantized send queue: this is the bottom of the deferred-send path
 		n.env.Send(q.to, q.msg)
 	}
 
@@ -512,6 +509,7 @@ func (n *Node) heartbeatTick(now time.Duration) {
 	hb := Heartbeat{GroupID: n.st.comp.GroupID, Epoch: n.st.comp.Epoch}
 	for _, m := range n.st.comp.Members {
 		if m.ID != n.cfg.Identity.ID {
+			//atumvet:allow egressonly failure-detector heartbeat: must not sit in an egress queue behind data traffic
 			n.env.Send(m.ID, hb)
 		}
 	}
@@ -586,6 +584,7 @@ func (n *Node) reShareSnapshot(to ids.NodeID, stuckEpoch uint64) {
 		}
 	}
 	n.reShared[to] = now
+	//atumvet:allow egressonly snapshot re-share: node-addressed under the pre-bump composition (unbatchedKinds)
 	group.SendToNode(n.sendNow, oldComp, n.cfg.Identity.ID, to,
 		kindSnapshot, snapMsgID(oldComp, to), payload)
 }
@@ -602,6 +601,7 @@ func (n *Node) sendGroupQuantized(to ids.NodeID, msg actor.Message) {
 		n.outQ = append(n.outQ, queuedSend{to: to, msg: msg})
 		return
 	}
+	//atumvet:allow egressonly bottom primitive: the egress scheduler drains into this SendFn
 	n.env.Send(to, msg)
 }
 
@@ -611,6 +611,7 @@ func (n *Node) sendNow(to ids.NodeID, msg actor.Message) {
 	if n.byzActive() && n.cfg.Behavior == BehaviorSilent {
 		return
 	}
+	//atumvet:allow egressonly bottom primitive: the egress scheduler drains into this SendFn
 	n.env.Send(to, msg)
 }
 
@@ -717,6 +718,7 @@ func (n *Node) makeReplica() {
 		Scheme:  n.cfg.Scheme,
 		Signer:  n.signer,
 		Send: func(to ids.NodeID, msg actor.Message) {
+			//atumvet:allow egressonly SMR-internal traffic is quantization-exempt by design: consensus latency bounds the round
 			n.sendNow(to, SMREnvelope{GroupID: comp.GroupID, Epoch: epoch, Inner: msg})
 		},
 		SetTimer: func(d time.Duration, data any) {

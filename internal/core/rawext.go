@@ -30,6 +30,7 @@ type rawCodec struct {
 }
 
 var rawReg struct {
+	//atumvet:allow actorconfine process-wide raw-codec registry: shared across nodes and runtimes by design, never touched by protocol handlers
 	sync.RWMutex
 	byTag  map[byte]*rawCodec
 	byType map[reflect.Type]*rawCodec

@@ -501,6 +501,7 @@ func (n *Node) handleTreeMiss(bcastID crypto.Digest) {
 	}
 	for _, mem := range dst.Members {
 		if mem.ID != n.cfg.Identity.ID {
+			//atumvet:allow egressonly graft repair is the loss-recovery path: deferring it to batch windows would stack timeouts
 			n.sendNow(mem.ID, msg)
 		}
 	}

@@ -413,7 +413,7 @@ func TestTreeDeliveryAcrossSplitMerge(t *testing.T) {
 	var payloads []string
 	cast := func(tag string) {
 		p := "tree-sm-" + tag
-		if err := pub.Broadcast([]byte(p)); err != nil {
+		if err := pub.BroadcastWith([]byte(p), BroadcastOpts{}); err != nil {
 			t.Fatalf("broadcast %s: %v", p, err)
 		}
 		payloads = append(payloads, p)

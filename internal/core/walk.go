@@ -107,6 +107,7 @@ func (n *Node) forwardWalk(p walkPayload, chain []overlay.StepCert) {
 				Chain:   chain,
 				StepSig: overlay.SignStep(n.signer, n.cfg.Identity.ID, p.WalkID, len(chain), dst),
 			})
+			//atumvet:allow egressonly per-member certificate attachments differ by recipient, which the shared batch frame cannot carry
 			group.SendAttach(n.sendGroupQuantized, n.env.Rand(), st.comp, n.cfg.Identity.ID, dst,
 				kindWalk, msgID, n.encPayload(p), attach)
 			return
@@ -287,6 +288,7 @@ func (n *Node) sendJoinRedirect(joiner ids.NodeID, walkID crypto.Digest) {
 		Payload:       payload,
 		Attach:        attach,
 	}
+	//atumvet:allow egressonly certificate-mode redirect to the joiner: node-addressed with a per-walk attachment (unbatchedKinds)
 	n.sendNow(joiner, msg)
 }
 
@@ -312,6 +314,7 @@ func (n *Node) sendWalkReply(p walkPayload, res walkResult) {
 		}
 		order := n.env.Rand().Perm(p.Origin.N())
 		for _, i := range order {
+			//atumvet:allow egressonly certificate-mode walk reply carries a per-walk attachment the batch frame cannot (unbatchedKinds)
 			n.sendGroupQuantized(p.Origin.Members[i].ID, msg)
 		}
 		return
@@ -432,6 +435,7 @@ func (n *Node) applyWalkResult(res walkResult) {
 		if n.cfg.ReplyMode == ReplyBackward && res.Target.N() > 0 {
 			// Backward mode: we (the contact vgroup) relay the redirect.
 			payload := n.encPayload(joinRedirectPayload{WalkID: res.WalkID, Target: res.Target.Clone()})
+			//atumvet:allow egressonly backward-mode redirect relay to the joiner: node-addressed handshake traffic (unbatchedKinds)
 			group.SendToNode(n.sendNow, st.comp, n.cfg.Identity.ID, wo.Joiner.ID,
 				kindJoinRedirect, replyMsgID(res.WalkID, 998), payload)
 		}

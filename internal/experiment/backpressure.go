@@ -172,7 +172,7 @@ func BackpressureRun(n, publishers, rounds int, paced bool, seed int64) (Backpre
 						out.AppSheds++
 					}
 				} else {
-					_ = f.SendRaw(slowID, msg) // blind flood: ignore the result
+					_ = f.SendRawWith(slowID, msg, atum.SendOpts{}) // blind flood: ignore the result
 				}
 			}
 		}
@@ -184,7 +184,7 @@ func BackpressureRun(n, publishers, rounds int, paced bool, seed int64) (Backpre
 		if r < rounds {
 			for i, p := range pubs {
 				payload := fmt.Sprintf("bp-%d-%d-%x", r, i, fresh(bpPayloadBytes))
-				if p.Broadcast([]byte(payload)) == nil {
+				if p.BroadcastWith([]byte(payload), atum.BroadcastOpts{}) == nil {
 					payloads = append(payloads, payload)
 				}
 			}

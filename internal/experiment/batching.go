@@ -53,7 +53,7 @@ func BatchingRun(n, publishers, rounds int, batch bool, seed int64) (BatchTraffi
 	for r := 0; r < rounds; r++ {
 		for i, p := range pubs {
 			payload := fmt.Sprintf("batch-%d-%d-%s", r, i, randTextSeeded(seed, 40))
-			if p.Broadcast([]byte(payload)) == nil {
+			if p.BroadcastWith([]byte(payload), atum.BroadcastOpts{}) == nil {
 				payloads = append(payloads, payload)
 			}
 		}

@@ -164,7 +164,7 @@ func egressScenario(n, publishers, rounds int, gossipOnly bool, seed int64) (Egr
 		_ = fresh.Join(contact)
 		for i, p := range pubs {
 			payload := fmt.Sprintf("egress-%d-%d-%s", r, i, randTextSeeded(seed, 40))
-			if p.Broadcast([]byte(payload)) == nil {
+			if p.BroadcastWith([]byte(payload), atum.BroadcastOpts{}) == nil {
 				payloads = append(payloads, payload)
 			}
 		}
@@ -179,7 +179,7 @@ func egressScenario(n, publishers, rounds int, gossipOnly bool, seed int64) (Egr
 				rawSeq++
 				for _, member := range node.GroupMembers() {
 					if member.ID != self {
-						node.SendRaw(member.ID, expChunk{Seq: rawSeq, Data: chunk})
+						node.SendRawWith(member.ID, expChunk{Seq: rawSeq, Data: chunk}, atum.SendOpts{})
 					}
 				}
 			}

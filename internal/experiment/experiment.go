@@ -348,7 +348,7 @@ func Fig8(mode smr.Mode, n, byzantine, broadcasts int, roundDur time.Duration, s
 		}
 		payload := fmt.Sprintf("bcast-%d-%s", b, randText(rng, 10+rng.Intn(90)))
 		sent := cl.c.Now()
-		if err := origin.Broadcast([]byte(payload)); err != nil {
+		if err := origin.BroadcastWith([]byte(payload), atum.BroadcastOpts{}); err != nil {
 			continue
 		}
 		cl.c.Run(20 * roundDur)

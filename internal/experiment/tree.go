@@ -86,7 +86,7 @@ func treeScenario(n, publishers, rounds int, treeOn bool, seed int64) (TreeTraff
 	// tree should converge on the topology both arms share.
 	for r := 0; r < warmupRounds; r++ {
 		for i, p := range pubs {
-			_ = p.Broadcast([]byte(fmt.Sprintf("tree-warm-%d-%d-%s", r, i, randTextSeeded(seed, 40))))
+			_ = p.BroadcastWith([]byte(fmt.Sprintf("tree-warm-%d-%d-%s", r, i, randTextSeeded(seed, 40))), atum.BroadcastOpts{})
 		}
 		cl.c.Run(roundDur)
 	}
@@ -104,7 +104,7 @@ func treeScenario(n, publishers, rounds int, treeOn bool, seed int64) (TreeTraff
 		_ = fresh.Join(contact)
 		for i, p := range pubs {
 			payload := fmt.Sprintf("tree-%d-%d-%s", r, i, randTextSeeded(seed, 40))
-			if p.Broadcast([]byte(payload)) == nil {
+			if p.BroadcastWith([]byte(payload), atum.BroadcastOpts{}) == nil {
 				payloads = append(payloads, payload)
 			}
 		}

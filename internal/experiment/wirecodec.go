@@ -42,7 +42,7 @@ func WireCodecRun(n, publishers, rounds int, seed int64) (BatchTraffic, error) {
 	for r := 0; r < rounds; r++ {
 		for i, p := range pubs {
 			payload := fmt.Sprintf("codec-%d-%d-%s", r, i, randTextSeeded(seed, 40))
-			if p.Broadcast([]byte(payload)) == nil {
+			if p.BroadcastWith([]byte(payload), atum.BroadcastOpts{}) == nil {
 				payloads = append(payloads, payload)
 			}
 		}

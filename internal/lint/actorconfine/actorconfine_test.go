@@ -1,0 +1,49 @@
+package actorconfine_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"atum/internal/lint/actorconfine"
+	"atum/internal/lint/analysis"
+	"atum/internal/lint/linttest"
+)
+
+func TestConfineFixtures(t *testing.T) {
+	linttest.RunModule(t, actorconfine.Analyzer, filepath.Join("testdata", "confine"))
+}
+
+// TestMutationTripsActorconfine seeds a confinement violation into a
+// throwaway copy of the real repo and proves the analyzer catches it on
+// real code, not just on fixtures.
+func TestMutationTripsActorconfine(t *testing.T) {
+	root := linttest.CopyModule(t, filepath.Join("..", "..", ".."))
+	mutant := filepath.Join(root, "internal", "core", "zz_mutation.go")
+	src := `package core
+
+func (n *Node) zzLeakTick() {
+	go n.handleTick()
+}
+`
+	if err := os.WriteFile(mutant, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	units, err := analysis.Load(root, "./internal/core")
+	if err != nil {
+		t.Fatalf("load mutated repo: %v", err)
+	}
+	diags, err := analysis.Run(units, []*analysis.Analyzer{actorconfine.Analyzer})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var hit bool
+	for _, d := range diags {
+		if filepath.Base(d.Pos.Filename) == "zz_mutation.go" {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("seeded goroutine in core went undetected; diagnostics: %v", diags)
+	}
+}

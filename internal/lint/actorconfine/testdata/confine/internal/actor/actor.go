@@ -1,0 +1,16 @@
+// Stub of the real atum/internal/actor: just enough surface for the
+// fixture packages to exercise the confinement rules against the same
+// package paths and type names the analyzer scopes to.
+package actor
+
+type Message = any
+
+type Env interface {
+	Send(to uint64, msg Message)
+}
+
+type Node interface {
+	Start(env Env)
+	Receive(from uint64, msg Message)
+	Stop()
+}

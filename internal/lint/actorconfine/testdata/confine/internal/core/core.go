@@ -1,0 +1,40 @@
+// Fixture for rule 1 (no concurrency machinery inside the actor
+// package) and the in-core half of rule 2.
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"atum/internal/actor"
+)
+
+type Node struct {
+	env   actor.Env
+	state []int
+	mu    sync.Mutex // want "use of sync in the actor package"
+}
+
+func (n *Node) Start(env actor.Env)                    { n.env = env }
+func (n *Node) Receive(from uint64, msg actor.Message) { n.state = append(n.state, 1) }
+func (n *Node) Stop()                                  {}
+
+func (n *Node) handleTick() {
+	// Plain single-threaded work stays legal.
+	sort.Ints(n.state)
+}
+
+func (n *Node) bad() {
+	go n.handleTick()       // want "go statement in the actor package" want "called from a goroutine"
+	ch := make(chan int, 1) // want "make\(chan\) in the actor package"
+	ch <- 1                 // want "channel send in the actor package"
+	<-ch                    // want "channel receive in the actor package"
+	select {                // want "select statement in the actor package"
+	default:
+	}
+}
+
+func (n *Node) allowed() {
+	//atumvet:allow actorconfine fixture: sanctioned registry-style exception
+	go n.handleTick()
+}

@@ -1,0 +1,53 @@
+// Fixture for rule 2 outside the actor package: goroutines are legal
+// here (this is runtime territory), but a goroutine body may not call
+// methods on confined node types.
+package rt
+
+import (
+	"atum/internal/actor"
+	"atum/internal/core"
+)
+
+// Runtime stands in for a mailbox-style runtime around an engine node.
+type Runtime struct {
+	node  *core.Node
+	anode actor.Node
+	inbox chan actor.Message
+}
+
+func helper() {}
+
+func (r *Runtime) ok() {
+	// Channel machinery and plain goroutines are fine outside core.
+	r.inbox = make(chan actor.Message, 8)
+	go helper()
+	go func() {
+		<-r.inbox
+		helper()
+	}()
+	// Direct (non-goroutine) method calls are the runtime's job.
+	r.node.Receive(1, "x")
+}
+
+func (r *Runtime) bad() {
+	go r.node.Receive(1, "x") // want "called from a goroutine"
+	go func() {
+		r.node.Stop() // want "core.Node.Stop called from a goroutine"
+	}()
+	go func() {
+		f := func() {
+			r.anode.Receive(2, "y") // want "actor.Node.Receive called from a goroutine"
+		}
+		f()
+	}()
+}
+
+func (r *Runtime) loop() {
+	//atumvet:allow actorconfine fixture: this goroutine is the serialization point
+	go func() {
+		for m := range r.inbox {
+			//atumvet:allow actorconfine fixture: mailbox loop delivers on behalf of the actor
+			r.node.Receive(0, m)
+		}
+	}()
+}

@@ -1,0 +1,192 @@
+// Package aliasret machine-checks the ownership contract of the public
+// API surface: an exported method that returns a slice, map, or
+// struct-with-slices reachable from receiver state hands the caller a
+// live alias into internals — the caller's innocent append or map write
+// corrupts engine state behind the actor's back. PR-5 hit this class
+// twice in review (ashare.Index returning its replica map, GroupMembers
+// returning the live membership slice); this analyzer generalizes the
+// fix: reference-typed returns must pass through a Clone/copy call on
+// the way out.
+//
+// The check is syntactic over typed ASTs: in the API packages (atum,
+// astream, ashare, asub, internal/group), an exported method may not
+// return an expression that is a pure selector/index/slice chain rooted
+// at the receiver (or at a package-level variable, or a local assigned
+// from such a chain) when the expression's type carries references.
+// Any intervening call — m.Clone(), append(nil, s...), maps.Clone —
+// breaks the chain and satisfies the check. Returning the bare receiver
+// itself is exempt (builder chaining returns the receiver by design).
+// Intentional sharing is justified site-by-site with
+// //atumvet:allow aliasret <reason>.
+package aliasret
+
+import (
+	"go/ast"
+	"go/types"
+
+	"atum/internal/lint/analysis"
+)
+
+// Analyzer is the aliasret pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "aliasret",
+	Doc:       "exported API methods must not return un-cloned slices/maps/structs-with-slices rooted in receiver or package state",
+	SkipTests: true,
+	NeedTypes: true,
+	Run:       run,
+}
+
+// apiPkgs are the packages whose exported surface the check covers: the
+// public facade and the app layers, plus internal/group whose value
+// types (Composition) cross the API boundary inside messages.
+var apiPkgs = map[string]bool{
+	"atum":                true,
+	"atum/astream":        true,
+	"atum/ashare":         true,
+	"atum/asub":           true,
+	"atum/internal/group": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !apiPkgs[pass.PkgPath] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var recv types.Object
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		recv = pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+	}
+
+	// First pass: locals that alias state. An assignment whose RHS is a
+	// state-rooted chain taints its (first) LHS ident; aliases propagate
+	// through further plain assignments.
+	tainted := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !rootsInState(pass, rhs, recv, tainted) {
+				continue
+			}
+			// With a comma-ok / multi-value RHS (len(Rhs)==1), the value
+			// lands in Lhs[0]; in a balanced assignment it lands in Lhs[i].
+			if i >= len(as.Lhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					tainted[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Second pass: top-level returns (returns inside function literals
+	// return from the literal, not this method).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if id, ok := res.(*ast.Ident); ok && recv != nil && pass.TypesInfo.ObjectOf(id) == recv {
+				continue // builder chaining: returning the receiver is the contract
+			}
+			if !rootsInState(pass, res, recv, tainted) {
+				continue
+			}
+			tv, ok := pass.TypesInfo.Types[res]
+			if !ok || !carriesRefs(tv.Type, nil) {
+				continue
+			}
+			pass.Reportf(res.Pos(), "%s returns internal state (%s) without a clone: callers can mutate it in place — return a copy (Clone/append) or justify with //atumvet:allow aliasret <reason>",
+				fd.Name.Name, types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+		}
+		return true
+	})
+}
+
+// rootsInState reports whether e is a pure selector/index/slice chain —
+// no intervening call — rooted at the receiver, at a package-level
+// variable, or at a tainted local.
+func rootsInState(pass *analysis.Pass, e ast.Expr, recv types.Object, tainted map[types.Object]bool) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.ObjectOf(x)
+			if obj == nil {
+				return false
+			}
+			if recv != nil && obj == recv {
+				return true
+			}
+			if tainted[obj] {
+				return true
+			}
+			v, ok := obj.(*types.Var)
+			return ok && v.Parent() == pass.Pkg.Scope()
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// carriesRefs reports whether t owns mutable reference storage a caller
+// could write through: slices and maps, directly or inside structs and
+// arrays. Pointers and interfaces are deliberately excluded — returning
+// *T is ordinary Go and flagging it would drown the real bug class.
+func carriesRefs(t types.Type, seen map[*types.Named]bool) bool {
+	if named, ok := t.(*types.Named); ok {
+		if seen[named] {
+			return false
+		}
+		if seen == nil {
+			seen = map[*types.Named]bool{}
+		}
+		seen[named] = true
+		return carriesRefs(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	case *types.Array:
+		return carriesRefs(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if carriesRefs(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

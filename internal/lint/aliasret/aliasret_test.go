@@ -1,0 +1,47 @@
+package aliasret_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"atum/internal/lint/aliasret"
+	"atum/internal/lint/analysis"
+	"atum/internal/lint/linttest"
+)
+
+func TestAliasFixtures(t *testing.T) {
+	linttest.RunModule(t, aliasret.Analyzer, filepath.Join("testdata", "alias"))
+}
+
+// TestMutationTripsAliasret seeds an exported accessor that leaks the
+// live metadata map out of ashare.Index into a throwaway copy of the
+// real repo and proves the analyzer catches it.
+func TestMutationTripsAliasret(t *testing.T) {
+	root := linttest.CopyModule(t, filepath.Join("..", "..", ".."))
+	mutant := filepath.Join(root, "ashare", "zz_mutation.go")
+	src := `package ashare
+
+func (ix *Index) ZZFiles() map[FileKey]FileMeta { return ix.files }
+`
+	if err := os.WriteFile(mutant, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	units, err := analysis.Load(root, "./ashare")
+	if err != nil {
+		t.Fatalf("load mutated repo: %v", err)
+	}
+	diags, err := analysis.Run(units, []*analysis.Analyzer{aliasret.Analyzer})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var hit bool
+	for _, d := range diags {
+		if filepath.Base(d.Pos.Filename) == "zz_mutation.go" {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("seeded map leak in ashare went undetected; diagnostics: %v", diags)
+	}
+}

@@ -1,0 +1,70 @@
+// Fixture for aliasret in an API package (path atum/ashare): exported
+// methods returning receiver-rooted reference state must clone on the
+// way out.
+package ashare
+
+type Meta struct {
+	Name   string
+	Chunks []uint64
+}
+
+func (m Meta) clone() Meta {
+	m.Chunks = append([]uint64(nil), m.Chunks...)
+	return m
+}
+
+type Index struct {
+	files    map[string]Meta
+	replicas map[string][]uint64
+	names    []string
+}
+
+var registry = map[string]int{}
+
+// Files returns the live map.
+func (ix *Index) Files() map[string]Meta { return ix.files } // want "Files returns internal state"
+
+func (ix *Index) Names() []string {
+	return ix.names // want "Names returns internal state"
+}
+
+func (ix *Index) Replicas(key string) []uint64 {
+	return ix.replicas[key] // want "Replicas returns internal state"
+}
+
+func (ix *Index) Prefix(n int) []string {
+	return ix.names[:n] // want "Prefix returns internal state"
+}
+
+func (ix *Index) LookupRaw(key string) (Meta, bool) {
+	m, ok := ix.files[key]
+	return m, ok // want "LookupRaw returns internal state"
+}
+
+func (ix *Index) Lookup(key string) (Meta, bool) {
+	m, ok := ix.files[key]
+	return m.clone(), ok // the intervening clone breaks the alias chain
+}
+
+func (ix *Index) NamesCopy() []string {
+	return append([]string(nil), ix.names...) // copy on the way out
+}
+
+func (ix *Index) WithName(n string) *Index {
+	ix.names = append(ix.names, n)
+	return ix // builder chaining: bare receiver return is the contract
+}
+
+func (ix *Index) Count() int { return len(ix.names) } // value types stay clean
+
+func Registry() map[string]int {
+	return registry // want "Registry returns internal state"
+}
+
+func (ix *Index) files2() map[string]Meta { return ix.files } // unexported: out of scope
+
+// Shared returns the live slice on purpose; the directive documents it.
+func (ix *Index) Shared() []string {
+	//atumvet:allow aliasret fixture: documented zero-copy fast path
+	return ix.names
+}

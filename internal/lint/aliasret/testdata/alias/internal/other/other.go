@@ -1,0 +1,7 @@
+// Fixture negative: packages outside the API surface are out of scope
+// even when they return live state.
+package other
+
+type Box struct{ items []int }
+
+func (b *Box) Items() []int { return b.items }

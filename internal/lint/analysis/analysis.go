@@ -2,9 +2,12 @@
 // cmd/atumvet. It mirrors the shape of golang.org/x/tools/go/analysis —
 // an Analyzer owns a Run function over a Pass and reports Diagnostics —
 // but is built on the standard library alone (go/ast, go/parser,
-// go/token): the repo vendors no third-party modules, and the three
-// atumvet analyzers (wiresym, retainview, detclock) are purely
-// syntactic, so a type-checking driver would buy nothing.
+// go/token, go/types): the repo vendors no third-party modules. The
+// original three analyzers (wiresym, retainview, detclock) are purely
+// syntactic; analyzers that set NeedTypes additionally get a go/types
+// view of their unit (Pass.Pkg, Pass.TypesInfo), type-checked with a
+// module-local source importer (types.go) — no go/packages, no
+// toolchain subprocesses.
 //
 // Deliberate exceptions are annotated in the checked source with
 //
@@ -21,6 +24,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
@@ -35,6 +39,11 @@ type Analyzer struct {
 	// (tests inject seeded rngs and deliberately alias views to pin the
 	// aliasing behaviour itself).
 	SkipTests bool
+	// NeedTypes requests the type-aware view: the pass runs with
+	// Pass.Pkg and Pass.TypesInfo populated from a go/types check of the
+	// unit's non-test files (types.go). NeedTypes implies SkipTests —
+	// test files carry no type information.
+	NeedTypes bool
 	// Run inspects one package-shaped unit and reports findings.
 	Run func(*Pass) error
 }
@@ -57,6 +66,11 @@ type Pass struct {
 	PkgPath string
 	// Dir is the unit's directory on disk.
 	Dir string
+	// Pkg and TypesInfo are the unit's type-checked package and the
+	// types recorded for its non-test files. Populated only for
+	// analyzers that set NeedTypes; nil otherwise.
+	Pkg       *types.Package
+	TypesInfo *types.Info
 
 	diags *[]Diagnostic
 }

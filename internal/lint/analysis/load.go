@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"sort"
@@ -12,14 +13,23 @@ import (
 
 // Unit is one package-shaped collection of parsed files: every .go file
 // of one directory, internal and external test packages included. The
-// atumvet analyzers are syntactic and per-declaration, so lumping the
-// _test package into the same unit is harmless and keeps the loader to
-// a directory walk.
+// syntactic analyzers are per-declaration, so lumping the _test package
+// into the same unit is harmless and keeps the loader to a directory
+// walk; the type-aware view (Types) covers the non-test files only.
 type Unit struct {
 	Dir     string
 	PkgPath string
 	Fset    *token.FileSet
 	Files   []File
+
+	// mod is the Load-shared module context behind Types; all units of
+	// one Load share one fset and one import cache through it.
+	mod *module
+	// Types() memoization.
+	typesDone bool
+	pkg       *types.Package
+	info      *types.Info
+	typesErr  error
 }
 
 // Load parses the units under root. Each pattern is either a directory
@@ -35,6 +45,10 @@ func Load(root string, patterns ...string) ([]*Unit, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One fset and one module context for the whole Load: every unit and
+	// every imported package share them, so type-checking caches across
+	// units and positions stay coherent.
+	mod := &module{root: root, modPath: modPath, fset: token.NewFileSet()}
 	dirs := make(map[string]bool)
 	for _, pat := range patterns {
 		pat = filepath.ToSlash(pat)
@@ -59,7 +73,7 @@ func Load(root string, patterns ...string) ([]*Unit, error) {
 
 	var units []*Unit
 	for _, dir := range sorted {
-		u, err := loadDir(root, modPath, dir)
+		u, err := loadDir(mod, dir)
 		if err != nil {
 			return nil, err
 		}
@@ -97,12 +111,12 @@ func walkDirs(root, base string, dirs map[string]bool) error {
 
 // loadDir parses one directory into a Unit, or nil when it holds no Go
 // files.
-func loadDir(root, modPath, dir string) (*Unit, error) {
+func loadDir(mod *module, dir string) (*Unit, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
+	fset := mod.fset
 	var files []File
 	for _, ent := range entries {
 		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
@@ -122,15 +136,15 @@ func loadDir(root, modPath, dir string) (*Unit, error) {
 	if len(files) == 0 {
 		return nil, nil
 	}
-	rel, err := filepath.Rel(root, dir)
+	rel, err := filepath.Rel(mod.root, dir)
 	if err != nil {
 		return nil, err
 	}
-	pkgPath := modPath
+	pkgPath := mod.modPath
 	if rel != "." {
-		pkgPath = modPath + "/" + filepath.ToSlash(rel)
+		pkgPath = mod.modPath + "/" + filepath.ToSlash(rel)
 	}
-	return &Unit{Dir: dir, PkgPath: pkgPath, Fset: fset, Files: files}, nil
+	return &Unit{Dir: dir, PkgPath: pkgPath, Fset: fset, Files: files, mod: mod}, nil
 }
 
 // modulePath reads the module path from root's go.mod. Units loaded
@@ -163,7 +177,9 @@ func Run(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		for _, az := range analyzers {
 			files := u.Files
-			if az.SkipTests {
+			if az.SkipTests || az.NeedTypes {
+				// Type information covers the non-test files only, so a
+				// type-aware pass is implicitly test-skipping.
 				files = nil
 				for _, f := range u.Files {
 					if !f.Test {
@@ -182,6 +198,13 @@ func Run(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 				PkgPath:  u.PkgPath,
 				Dir:      u.Dir,
 				diags:    &raw,
+			}
+			if az.NeedTypes {
+				pkg, info, err := u.Types()
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", az.Name, err)
+				}
+				pass.Pkg, pass.TypesInfo = pkg, info
 			}
 			if err := az.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", az.Name, u.PkgPath, err)

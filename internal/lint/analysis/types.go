@@ -1,0 +1,202 @@
+package analysis
+
+// The type-aware layer. Units are still parsed per directory (load.go),
+// but analyzers that declare NeedTypes additionally get a go/types view
+// of their unit: Pass.Pkg and Pass.TypesInfo over the unit's non-test
+// files. Type-checking needs every transitively imported package, so the
+// layer includes a module-local source importer built on the standard
+// library alone: in-module import paths resolve against the repo root,
+// everything else against GOROOT/src (the module deliberately has no
+// third-party dependencies — go.mod has no require block — so those two
+// roots are complete). Imported packages are parsed with go/build's file
+// selection (build tags, no cgo) and type-checked signatures-only
+// (IgnoreFuncBodies), then cached for the rest of the run: one Load's
+// units share one importer, so the stdlib is checked once, not once per
+// unit.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// module is the per-Load shared state: where the module lives and the
+// import checker (lazily created — purely syntactic runs never pay for
+// type checking).
+type module struct {
+	root    string
+	modPath string
+	fset    *token.FileSet
+	imp     *sourceImporter
+}
+
+func (m *module) importer() *sourceImporter {
+	if m.imp == nil {
+		ctxt := build.Default
+		// No cgo: go/build then selects the pure-Go fallback files of the
+		// few stdlib packages with cgo variants, which is all type
+		// checking needs.
+		ctxt.CgoEnabled = false
+		m.imp = &sourceImporter{
+			fset:    m.fset,
+			root:    m.root,
+			modPath: m.modPath,
+			ctxt:    ctxt,
+			pkgs:    make(map[string]*importEntry),
+		}
+	}
+	return m.imp
+}
+
+// Types type-checks the unit's non-test files on first use and returns
+// the package and its fully populated types.Info. The result is cached,
+// including failure: a unit that does not type-check keeps returning the
+// same error (analysis.Run turns it into a hard analyzer error — the
+// repo builds, so its units must check; a failure here means the
+// analyzer is running over broken source).
+func (u *Unit) Types() (*types.Package, *types.Info, error) {
+	if u.typesDone {
+		return u.pkg, u.info, u.typesErr
+	}
+	u.typesDone = true
+	if u.mod == nil {
+		u.typesErr = fmt.Errorf("%s: unit loaded without module context", u.PkgPath)
+		return nil, nil, u.typesErr
+	}
+	var files []*ast.File
+	for _, f := range u.Files {
+		if !f.Test {
+			files = append(files, f.AST)
+		}
+	}
+	if len(files) == 0 {
+		u.typesErr = fmt.Errorf("%s: no non-test files to type-check", u.PkgPath)
+		return nil, nil, u.typesErr
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: u.mod.importer(),
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	pkg, err := conf.Check(u.PkgPath, u.Fset, files, info)
+	if err != nil {
+		u.typesErr = fmt.Errorf("type-check %s: %w", u.PkgPath, err)
+		return nil, nil, u.typesErr
+	}
+	u.pkg, u.info = pkg, info
+	return pkg, info, nil
+}
+
+// sourceImporter implements types.Importer over module and GOROOT
+// source. Imported packages are checked signatures-only: analyzers
+// inspect the bodies of the unit under analysis, never of its imports.
+type sourceImporter struct {
+	fset    *token.FileSet
+	root    string
+	modPath string
+	ctxt    build.Context
+	pkgs    map[string]*importEntry
+}
+
+type importEntry struct {
+	pkg  *types.Package
+	err  error
+	done bool
+}
+
+func (si *sourceImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if e, ok := si.pkgs[path]; ok {
+		if !e.done {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return e.pkg, e.err
+	}
+	e := &importEntry{}
+	si.pkgs[path] = e
+	e.pkg, e.err = si.load(path)
+	e.done = true
+	return e.pkg, e.err
+}
+
+func (si *sourceImporter) load(path string) (*types.Package, error) {
+	dir, inModule, err := si.dirFor(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := si.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("import %q: %w", path, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(si.fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("import %q: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	var firstHard error
+	conf := types.Config{
+		Importer:         si,
+		IgnoreFuncBodies: true,
+		Sizes:            types.SizesFor("gc", build.Default.GOARCH),
+		// Imported packages only need to yield their exported API. For
+		// stdlib source we tolerate (and never hit, in practice) stray
+		// errors rather than fail the whole pass; in-module packages must
+		// check cleanly — an error there would silently weaken every
+		// type-aware analyzer.
+		Error: func(err error) {
+			if inModule && firstHard == nil {
+				firstHard = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, si.fset, files, nil)
+	if firstHard != nil {
+		return nil, fmt.Errorf("import %q: %w", path, firstHard)
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("import %q: %w", path, err)
+	}
+	return pkg, nil
+}
+
+// dirFor maps an import path to its source directory: the module root
+// for in-module paths, then GOROOT/src, then GOROOT's vendored
+// dependencies (stdlib packages import a few golang.org/x paths that
+// live under GOROOT/src/vendor).
+func (si *sourceImporter) dirFor(path string) (dir string, inModule bool, err error) {
+	if path == si.modPath {
+		return si.root, true, nil
+	}
+	if rest, ok := strings.CutPrefix(path, si.modPath+"/"); ok {
+		return filepath.Join(si.root, filepath.FromSlash(rest)), true, nil
+	}
+	goroot := si.ctxt.GOROOT
+	for _, cand := range []string{
+		filepath.Join(goroot, "src", filepath.FromSlash(path)),
+		filepath.Join(goroot, "src", "vendor", filepath.FromSlash(path)),
+	} {
+		if st, err := os.Stat(cand); err == nil && st.IsDir() {
+			return cand, false, nil
+		}
+	}
+	return "", false, fmt.Errorf("cannot resolve import %q: not in module %s and not in GOROOT (the module has no third-party dependencies)", path, si.modPath)
+}

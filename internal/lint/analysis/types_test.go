@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTypesOverRepo pins the module-local source importer against the
+// real repository: internal/core is the deepest unit (it transitively
+// imports most of the module and a healthy slice of the stdlib), so a
+// clean check here means the importer resolves module paths, GOROOT
+// source, and GOROOT's vendored packages.
+func TestTypesOverRepo(t *testing.T) {
+	units, err := Load("../../..", "./internal/core", "./internal/tcpnet")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(units) != 2 {
+		t.Fatalf("loaded %d units, want 2", len(units))
+	}
+	for _, u := range units {
+		pkg, info, err := u.Types()
+		if err != nil {
+			t.Fatalf("types %s: %v", u.PkgPath, err)
+		}
+		if pkg.Path() != u.PkgPath {
+			t.Errorf("pkg path %q, want %q", pkg.Path(), u.PkgPath)
+		}
+		if len(info.Defs) == 0 || len(info.Uses) == 0 {
+			t.Errorf("%s: types.Info not populated", u.PkgPath)
+		}
+	}
+	// The two units share one import cache: "atum/internal/wire" must
+	// have been checked exactly once, and resolve to a real package.
+	core := units[0]
+	obj := core.pkg.Scope().Lookup("Node")
+	if obj == nil {
+		t.Fatal("core.Node not found in type-checked package scope")
+	}
+	if _, ok := obj.Type().Underlying().(*types.Struct); !ok {
+		t.Fatalf("core.Node is %v, want a struct type", obj.Type().Underlying())
+	}
+}
+
+// TestTypesFailurePropagates: a unit that does not type-check must
+// surface a hard error from Run when a NeedTypes analyzer visits it —
+// silently running type-aware checks over broken source would let every
+// invariant rot.
+func TestTypesFailurePropagates(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "go.mod", "module broken\n\ngo 1.24.0\n")
+	writeFile(t, dir, "x.go", "package x\n\nvar v undeclaredType\n")
+	units, err := Load(dir, ".")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	az := &Analyzer{Name: "needy", NeedTypes: true, Run: func(p *Pass) error { return nil }}
+	if _, err := Run(units, []*Analyzer{az}); err == nil {
+		t.Fatal("Run succeeded over a unit that does not type-check")
+	}
+}
+
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+// Package egressonly machine-checks the single-egress invariant of the
+// engine core: every message the engine emits routes through the egress
+// scheduler (internal/egress, adapted in core's egress.go), which owns
+// batching, round quantization, per-destination queueing, and
+// backpressure. A protocol handler that calls a transport primitive
+// directly — env.Send, the sendNow/sendGroupQuantized bottom SendFns, or
+// the internal/group Send* fan-out helpers — bypasses all of that: its
+// traffic is invisible to flow control and its bytes never batch.
+//
+// The analyzer flags every direct-send call site in atum/internal/core
+// (non-test) outside egress.go, which is the scheduler adapter and hence
+// the one file that legitimately sits below the egress boundary.
+// Deliberate bypasses — the join/walk handshake (pre-membership, so no
+// group context to batch under), SMR-internal traffic (latency-critical,
+// quantization-exempt by design), and the bottom primitives themselves —
+// carry //atumvet:allow egressonly directives stating why, so every hole
+// in the boundary is enumerable with grep.
+package egressonly
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+
+	"atum/internal/lint/analysis"
+
+	"go/types"
+)
+
+// Analyzer is the egressonly pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "egressonly",
+	Doc:       "engine sends route through the egress scheduler: no direct env.Send, sendNow/sendGroupQuantized, or group.Send* calls in internal/core outside egress.go without an allow directive",
+	SkipTests: true,
+	NeedTypes: true,
+	Run:       run,
+}
+
+const (
+	corePkg  = "atum/internal/core"
+	groupPkg = "atum/internal/group"
+	actorPkg = "atum/internal/actor"
+)
+
+// bottomSendFns are the core.Node methods that hand bytes to the
+// transport with no scheduler in between.
+var bottomSendFns = map[string]bool{
+	"sendNow":            true,
+	"sendGroupQuantized": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.PkgPath != corePkg {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if filepath.Base(f.Name) == "egress.go" {
+			// The scheduler adapter: this file IS the egress path.
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			se, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := pass.TypesInfo.Selections[se]; ok && sel.Kind() == types.MethodVal {
+				name := se.Sel.Name
+				recv := sel.Recv()
+				if ptr, ok := recv.(*types.Pointer); ok {
+					recv = ptr.Elem()
+				}
+				named, ok := recv.(*types.Named)
+				if !ok || named.Obj().Pkg() == nil {
+					return true
+				}
+				rpkg, rname := named.Obj().Pkg().Path(), named.Obj().Name()
+				switch {
+				case name == "Send" && rpkg == actorPkg && rname == "Env":
+					pass.Reportf(call.Pos(), "direct env.Send bypasses the egress scheduler: route through sendViaEgress, or justify with //atumvet:allow egressonly <reason>")
+				case bottomSendFns[name] && rpkg == corePkg && rname == "Node":
+					pass.Reportf(call.Pos(), "direct %s call bypasses the egress scheduler: route through sendViaEgress, or justify with //atumvet:allow egressonly <reason>", name)
+				}
+				return true
+			}
+			// Package-qualified call: group.Send* helpers fan out straight
+			// onto whatever SendFn they are handed — below the scheduler.
+			if fn, ok := pass.TypesInfo.Uses[se.Sel].(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == groupPkg && strings.HasPrefix(fn.Name(), "Send") {
+				pass.Reportf(call.Pos(), "direct group.%s call bypasses the egress scheduler: route through sendViaEgress, or justify with //atumvet:allow egressonly <reason>", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

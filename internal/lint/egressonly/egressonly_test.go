@@ -1,0 +1,51 @@
+package egressonly_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"atum/internal/lint/analysis"
+	"atum/internal/lint/egressonly"
+	"atum/internal/lint/linttest"
+)
+
+func TestEgressFixtures(t *testing.T) {
+	linttest.RunModule(t, egressonly.Analyzer, filepath.Join("testdata", "egress"))
+}
+
+// TestMutationTripsEgressonly seeds a direct env.Send into a throwaway
+// copy of the real repo — outside egress.go, with no allow directive —
+// and proves the analyzer catches it on real code.
+func TestMutationTripsEgressonly(t *testing.T) {
+	root := linttest.CopyModule(t, filepath.Join("..", "..", ".."))
+	mutant := filepath.Join(root, "internal", "core", "zz_mutation.go")
+	src := `package core
+
+import "atum/internal/ids"
+
+func (n *Node) zzSneakySend(to ids.NodeID) {
+	n.env.Send(to, struct{}{})
+}
+`
+	if err := os.WriteFile(mutant, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	units, err := analysis.Load(root, "./internal/core")
+	if err != nil {
+		t.Fatalf("load mutated repo: %v", err)
+	}
+	diags, err := analysis.Run(units, []*analysis.Analyzer{egressonly.Analyzer})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var hit bool
+	for _, d := range diags {
+		if filepath.Base(d.Pos.Filename) == "zz_mutation.go" {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("seeded direct env.Send in core went undetected; diagnostics: %v", diags)
+	}
+}

@@ -1,0 +1,9 @@
+// Stub of the real atum/internal/actor: just the Env surface the
+// egressonly fixture needs to model direct transport sends.
+package actor
+
+type Message = any
+
+type Env interface {
+	Send(to uint64, msg Message)
+}

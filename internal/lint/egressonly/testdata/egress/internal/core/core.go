@@ -1,0 +1,33 @@
+// Fixture: protocol files in the actor package must route sends through
+// the egress scheduler; every direct primitive here is a violation
+// unless an allow directive justifies it.
+package core
+
+import (
+	"atum/internal/actor"
+	"atum/internal/group"
+)
+
+type Node struct {
+	env actor.Env
+}
+
+func (n *Node) sendNow(to uint64, msg actor.Message) {
+	n.env.Send(to, msg) // want "direct env.Send bypasses the egress scheduler"
+}
+
+func (n *Node) sendGroupQuantized(to uint64, msg actor.Message) {
+	//atumvet:allow egressonly fixture: bottom primitive, the egress scheduler drains into it
+	n.env.Send(to, msg)
+}
+
+func (n *Node) handle() {
+	n.sendNow(1, "x")                   // want "direct sendNow call bypasses the egress scheduler"
+	n.sendGroupQuantized(2, "y")        // want "direct sendGroupQuantized call bypasses the egress scheduler"
+	group.Send(n.sendNow, 3, "z")       // want "direct group.Send call bypasses the egress scheduler"
+	group.SendToNode(n.sendNow, 4, "w") // want "direct group.SendToNode call bypasses the egress scheduler"
+	_ = group.Size(5)                   // non-send group helpers stay clean
+	n.sendViaEgress(6, "ok")            // the sanctioned path stays clean
+	//atumvet:allow egressonly fixture: pre-membership handshake, no group context to batch under
+	n.sendNow(7, "handshake")
+}

@@ -1,0 +1,10 @@
+// Stub of the real atum/internal/group: the Send* fan-out helpers the
+// analyzer treats as below-the-scheduler primitives, plus one non-send
+// function to pin the negative case.
+package group
+
+type SendFn func(to uint64, msg any)
+
+func Send(send SendFn, to uint64, msg any)       { send(to, msg) }
+func SendToNode(send SendFn, to uint64, msg any) { send(to, msg) }
+func Size(n int) int                             { return n }

@@ -1,0 +1,214 @@
+// Package kindcover machine-checks the wire kind registry's coverage
+// invariant: every kind* constant in internal/core has exactly one
+// dispatch route, declared exactly once. The registry partitions into
+// four disjoint classes —
+//
+//   - batchableKinds (egress.go): votable kinds a batch carrier may
+//     inject into the inbox;
+//   - advisoryKinds (messages.go): link-authenticated tree advisory
+//     traffic that bypasses the inbox through handleTreeAdvisory;
+//   - unbatchedKinds (messages.go): votable but node-addressed or
+//     special-cased kinds that must never arrive inside a carrier;
+//   - the two carriers themselves, kindBatch and kindRaw, which carry
+//     other messages and are not payload kinds at all.
+//
+// Adding a kind without placing it in exactly one class, forgetting its
+// kindPayloads entry (or giving a carrier one), or wiring an advisory
+// kind to zero or multiple dispatch switch cases trips the check. This
+// turns "did you update all three tables?" — previously a code-review
+// question (docs/WIRE.md) — into a build failure.
+package kindcover
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"atum/internal/lint/analysis"
+)
+
+// Analyzer is the kindcover pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "kindcover",
+	Doc:       "every wire kind constant belongs to exactly one dispatch class (batchable/advisory/unbatched/carrier), has a kindPayloads entry iff it is not a carrier, and advisory kinds dispatch in exactly one switch case",
+	SkipTests: true,
+	NeedTypes: true,
+	Run:       run,
+}
+
+const (
+	corePkg  = "atum/internal/core"
+	groupPkg = "atum/internal/group"
+)
+
+// carrierKinds are the two kinds that carry other messages instead of an
+// enveloped engine payload; they belong to no dispatch set and must have
+// no kindPayloads entry.
+var carrierKinds = map[string]bool{
+	"kindBatch": true,
+	"kindRaw":   true,
+}
+
+// setNames are the three declarative dispatch sets plus the payload
+// registry; all four must exist as package-level map literals in core.
+var setNames = []string{"batchableKinds", "advisoryKinds", "unbatchedKinds", "kindPayloads"}
+
+func run(pass *analysis.Pass) error {
+	if pass.PkgPath != corePkg {
+		return nil
+	}
+
+	kinds := map[string]token.Pos{}      // kind const name → decl pos
+	sets := map[string]map[string]bool{} // set name → member kind names
+	setsPos := map[string]token.Pos{}    // set name → decl pos
+	caseCount := map[string]int{}        // kind name → bare case-label count
+	casePos := map[string][]token.Pos{}  // kind name → case-label positions
+	for _, f := range pass.Files {
+		for _, decl := range f.AST.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.CONST:
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						if isKindConst(pass, name) {
+							kinds[name.Name] = name.Pos()
+						}
+					}
+				}
+			case token.VAR:
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Names) != 1 || len(vs.Values) != 1 {
+						continue
+					}
+					name := vs.Names[0].Name
+					if !isSetName(name) {
+						continue
+					}
+					cl, ok := vs.Values[0].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					members := map[string]bool{}
+					for _, elt := range cl.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							members[id.Name] = true
+						}
+					}
+					sets[name] = members
+					setsPos[name] = vs.Names[0].Pos()
+				}
+			}
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			cc, ok := n.(*ast.CaseClause)
+			if !ok {
+				return true
+			}
+			for _, e := range cc.List {
+				if id, ok := e.(*ast.Ident); ok && strings.HasPrefix(id.Name, "kind") && isKindConst(pass, id) {
+					caseCount[id.Name]++
+					casePos[id.Name] = append(casePos[id.Name], id.Pos())
+				}
+			}
+			return true
+		})
+	}
+
+	for _, name := range setNames {
+		if sets[name] == nil {
+			pass.Reportf(pass.Files[0].AST.Package, "core must declare a package-level %s map literal: the kind registry's dispatch classes are machine-checked", name)
+			return nil
+		}
+	}
+
+	names := make([]string, 0, len(kinds))
+	for name := range kinds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		pos := kinds[name]
+		var in []string
+		for _, set := range setNames[:3] {
+			if sets[set][name] {
+				in = append(in, set)
+			}
+		}
+		if carrierKinds[name] {
+			in = append(in, "carrier")
+		}
+		switch {
+		case len(in) == 0:
+			pass.Reportf(pos, "%s belongs to no dispatch set: add it to exactly one of batchableKinds, advisoryKinds, or unbatchedKinds", name)
+		case len(in) > 1:
+			pass.Reportf(pos, "%s belongs to %d dispatch sets (%s): the classes must be disjoint", name, len(in), strings.Join(in, ", "))
+		}
+		if carrierKinds[name] {
+			if sets["kindPayloads"][name] {
+				pass.Reportf(pos, "carrier kind %s must not have a kindPayloads entry: its payload is a frame, not an enveloped engine payload", name)
+			}
+		} else if !sets["kindPayloads"][name] {
+			pass.Reportf(pos, "%s has no kindPayloads entry: the codec cannot decode it", name)
+		}
+	}
+
+	// Advisory kinds dispatch through exactly one switch case (the
+	// handleTreeAdvisory switch); zero means dead advisory traffic,
+	// several means divergent handling of the same wire tag.
+	advisory := make([]string, 0, len(sets["advisoryKinds"]))
+	for name := range sets["advisoryKinds"] {
+		advisory = append(advisory, name)
+	}
+	sort.Strings(advisory)
+	for _, name := range advisory {
+		switch n := caseCount[name]; {
+		case n == 0:
+			pass.Reportf(setsPos["advisoryKinds"], "advisory kind %s has no dispatch case: nothing handles it", name)
+		case n > 1:
+			pass.Reportf(casePos[name][1], "advisory kind %s dispatched in %d switch sites, want exactly one", name, n)
+		}
+	}
+	return nil
+}
+
+func isSetName(name string) bool {
+	for _, s := range setNames {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// isKindConst reports whether id names a constant of the wire kind type
+// (group.Kind) following the kind* naming convention.
+func isKindConst(pass *analysis.Pass, id *ast.Ident) bool {
+	if !strings.HasPrefix(id.Name, "kind") {
+		return false
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return false
+	}
+	named, ok := c.Type().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == groupPkg && named.Obj().Name() == "Kind"
+}

@@ -1,0 +1,58 @@
+package kindcover_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"atum/internal/lint/analysis"
+	"atum/internal/lint/kindcover"
+	"atum/internal/lint/linttest"
+)
+
+func TestKindFixtures(t *testing.T) {
+	linttest.RunModule(t, kindcover.Analyzer, filepath.Join("testdata", "kinds"))
+}
+
+// TestMutationTripsKindcover adds a wire kind to a throwaway copy of the
+// real repo without placing it in any dispatch class or the payload
+// registry and proves the analyzer trips — the exact "new kind, forgot
+// the tables" mistake it exists to catch.
+func TestMutationTripsKindcover(t *testing.T) {
+	root := linttest.CopyModule(t, filepath.Join("..", "..", ".."))
+	mutant := filepath.Join(root, "internal", "core", "zz_mutation.go")
+	src := `package core
+
+import "atum/internal/group"
+
+const kindZZProbe group.Kind = 200
+`
+	if err := os.WriteFile(mutant, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	units, err := analysis.Load(root, "./internal/core")
+	if err != nil {
+		t.Fatalf("load mutated repo: %v", err)
+	}
+	diags, err := analysis.Run(units, []*analysis.Analyzer{kindcover.Analyzer})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var sawSet, sawPayload bool
+	for _, d := range diags {
+		if filepath.Base(d.Pos.Filename) != "zz_mutation.go" {
+			t.Errorf("unexpected diagnostic outside the mutation: %s", d)
+			continue
+		}
+		switch {
+		case strings.Contains(d.Message, "belongs to no dispatch set"):
+			sawSet = true
+		case strings.Contains(d.Message, "has no kindPayloads entry"):
+			sawPayload = true
+		}
+	}
+	if !sawSet || !sawPayload {
+		t.Fatalf("seeded unregistered kind went undetected (set=%v payload=%v); diagnostics: %v", sawSet, sawPayload, diags)
+	}
+}

@@ -1,0 +1,3 @@
+module atum
+
+go 1.24.0

@@ -1,0 +1,5 @@
+// Stub of the real atum/internal/group: just the Kind tag type the
+// registry checks key on.
+package group
+
+type Kind uint8

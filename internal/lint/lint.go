@@ -1,14 +1,22 @@
 // Package lint assembles the repo's custom analyzers — the atumvet
-// suite. The analyzers encode invariants the type system cannot: wire
-// codec symmetry (wiresym), zero-copy view lifetimes (retainview), and
-// the determinism scope (detclock). cmd/atumvet runs them from the
-// command line and CI; the regression test in cmd/atumvet keeps the tree
-// at zero findings.
+// suite. The analyzers encode invariants the type system cannot. Three
+// are syntactic: wire codec symmetry (wiresym), zero-copy view lifetimes
+// (retainview), and the determinism scope (detclock). Four are
+// type-aware, built on the go/types layer in internal/lint/analysis:
+// actor confinement of engine state (actorconfine), the single-egress
+// send boundary (egressonly), clone-on-return ownership of the API
+// surface (aliasret), and wire kind-registry coverage (kindcover).
+// cmd/atumvet runs them from the command line and CI; the regression
+// test in cmd/atumvet keeps the tree at zero findings.
 package lint
 
 import (
+	"atum/internal/lint/actorconfine"
+	"atum/internal/lint/aliasret"
 	"atum/internal/lint/analysis"
 	"atum/internal/lint/detclock"
+	"atum/internal/lint/egressonly"
+	"atum/internal/lint/kindcover"
 	"atum/internal/lint/retainview"
 	"atum/internal/lint/wiresym"
 )
@@ -19,5 +27,9 @@ func Analyzers() []*analysis.Analyzer {
 		wiresym.Analyzer,
 		retainview.Analyzer,
 		detclock.Analyzer,
+		actorconfine.Analyzer,
+		egressonly.Analyzer,
+		aliasret.Analyzer,
+		kindcover.Analyzer,
 	}
 }

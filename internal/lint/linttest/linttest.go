@@ -15,6 +15,8 @@ package linttest
 
 import (
 	"go/token"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
@@ -22,7 +24,9 @@ import (
 	"atum/internal/lint/analysis"
 )
 
-var wantRE = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+// wantRE matches each `want "re"` clause of a fixture comment; one
+// comment may carry several clauses when a line trips several rules.
+var wantRE = regexp.MustCompile(`want\s+"((?:[^"\\]|\\.)*)"`)
 
 // expectation is one `// want "re"` comment.
 type expectation struct {
@@ -46,30 +50,97 @@ func Run(t *testing.T, az *analysis.Analyzer, dir, pkgPath string) {
 	if len(units) != 1 {
 		t.Fatalf("fixture dir %s loaded %d units, want 1", dir, len(units))
 	}
-	unit := units[0]
 	if pkgPath != "" {
-		unit.PkgPath = pkgPath
+		units[0].PkgPath = pkgPath
 	}
+	diff(t, az, units)
+}
 
+// RunModule loads root as a module-shaped fixture — a directory tree
+// with its own go.mod (conventionally `module atum`, so package paths
+// mirror the real repo's and scoped analyzers fire) — and applies the
+// analyzer to every unit under it, diffing findings against the want
+// comments across all files. This is the fixture shape for type-aware
+// analyzers, whose fixtures may span several stub packages that import
+// one another.
+func RunModule(t *testing.T, az *analysis.Analyzer, root string) {
+	t.Helper()
+	units, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("load fixture module %s: %v", root, err)
+	}
+	if len(units) == 0 {
+		t.Fatalf("fixture module %s holds no Go packages", root)
+	}
+	diff(t, az, units)
+}
+
+// CopyModule copies the Go source of the module at srcRoot (go.mod and
+// every non-testdata .go file, directory structure preserved) into a
+// fresh temp directory and returns it. Mutation tests use it to seed a
+// violation into a throwaway copy of the real repo and prove the
+// analyzer trips on real code.
+func CopyModule(t *testing.T, srcRoot string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.WalkDir(srcRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != srcRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") && name != "go.mod" {
+			return nil
+		}
+		rel, err := filepath.Rel(srcRoot, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(out, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copy module %s: %v", srcRoot, err)
+	}
+	return dst
+}
+
+func diff(t *testing.T, az *analysis.Analyzer, units []*analysis.Unit) {
+	t.Helper()
 	var wants []*expectation
-	for _, f := range unit.Files {
-		for _, cg := range f.AST.Comments {
-			for _, c := range cg.List {
-				m := wantRE.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
+	for _, unit := range units {
+		for _, f := range unit.Files {
+			for _, cg := range f.AST.Comments {
+				for _, c := range cg.List {
+					if !strings.Contains(c.Text, "want ") {
+						continue
+					}
+					for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", position(unit.Fset, c.Pos()), m[1], err)
+						}
+						pos := unit.Fset.Position(c.Pos())
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
 				}
-				re, err := regexp.Compile(m[1])
-				if err != nil {
-					t.Fatalf("%s: bad want regexp %q: %v", position(unit.Fset, c.Pos()), m[1], err)
-				}
-				pos := unit.Fset.Position(c.Pos())
-				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
 			}
 		}
 	}
 
-	diags, err := analysis.Run([]*analysis.Unit{unit}, []*analysis.Analyzer{az})
+	diags, err := analysis.Run(units, []*analysis.Analyzer{az})
 	if err != nil {
 		t.Fatalf("run %s: %v", az.Name, err)
 	}

@@ -1,0 +1,135 @@
+package atum_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"atum"
+)
+
+// The goroutine-leak harness backstops the actorconfine analyzer at
+// runtime: the engine itself must never spawn goroutines (its state is
+// actor-confined), and the runtimes that do spawn them (rtnet mailbox
+// loops, timers) must reap every one on node removal and runtime close.
+// Each test snapshots the goroutine count before building a cluster,
+// drives the full node lifecycle, tears everything down, and requires
+// the count to settle back to the baseline.
+
+// settleGoroutines polls until the live goroutine count drops back to
+// base (runtime teardown is asynchronous: mailbox loops drain their
+// final events after Close returns) and fails with a full stack dump of
+// the survivors if it never does.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	n := runtime.NumGoroutine()
+	for time.Now().Before(deadline) {
+		n = runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutines leaked: %d at baseline, %d after teardown; stacks:\n%s",
+		base, n, buf[:runtime.Stack(buf, true)])
+}
+
+// TestNoGoroutineLeakSimCluster runs the quickstart example's flow —
+// bootstrap, four joins through a contact, one broadcast delivered
+// everywhere — on the in-process simulator and requires that the whole
+// run spawns no goroutines at all: the simulated engine is strictly
+// single-threaded, which is exactly the invariant actorconfine encodes.
+func TestNoGoroutineLeakSimCluster(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	cluster := atum.NewSimCluster(atum.SimOptions{Seed: 42})
+	delivered := make(map[atum.NodeID]string)
+	var nodes []*atum.Node
+	for i := 0; i < 5; i++ {
+		var n *atum.Node
+		n = cluster.AddNode(atum.Callbacks{
+			Deliver: func(d atum.Delivery) { delivered[n.Identity().ID] = string(d.Data) },
+		})
+		nodes = append(nodes, n)
+	}
+	cluster.Run(10 * time.Millisecond)
+	if err := nodes[0].Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	contact := nodes[0].Identity()
+	for _, n := range nodes[1:] {
+		if err := n.Join(contact); err != nil {
+			t.Fatal(err)
+		}
+		if !cluster.RunUntil(n.IsMember, time.Minute) {
+			t.Fatalf("node %v did not join", n.Identity().ID)
+		}
+	}
+	if err := nodes[2].BroadcastWith([]byte("leak-probe"), atum.BroadcastOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Run(10 * time.Second)
+	for _, n := range nodes {
+		if delivered[n.Identity().ID] != "leak-probe" {
+			t.Fatalf("node %v delivered %q", n.Identity().ID, delivered[n.Identity().ID])
+		}
+	}
+
+	settleGoroutines(t, base)
+}
+
+// TestNoGoroutineLeakRealtime drives the wall-clock runtime through the
+// full node lifecycle — add, bootstrap, join, broadcast, remove one node
+// mid-flight, close the runtime — and requires every runtime goroutine
+// (one mailbox loop per node, plus timers) to be reaped.
+func TestNoGoroutineLeakRealtime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time cluster test (seconds of wall clock)")
+	}
+	base := runtime.NumGoroutine()
+
+	rt := atum.NewRealtimeRuntime(atum.RealtimeOptions{Seed: 7})
+	const n = 3
+	cols := make([]*collector, n)
+	nodes := make([]*atum.Node, n)
+	for i := 0; i < n; i++ {
+		cols[i] = &collector{}
+		node, err := rt.AddNode(atum.Callbacks{Deliver: cols[i].deliver})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+	}
+	if err := rt.Bootstrap(nodes[0]); err != nil {
+		t.Fatal(err)
+	}
+	contact := nodes[0].Identity()
+	for i := 1; i < n; i++ {
+		if err := rt.Join(nodes[i], contact); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		i := i
+		waitCond(t, "join of node", 30*time.Second, func() bool { return rt.IsMember(nodes[i]) })
+	}
+	if err := rt.BroadcastWith(nodes[0], []byte("leak-probe"), atum.BroadcastOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		waitCond(t, "delivery", 30*time.Second, func() bool { return cols[i].count() >= 1 })
+	}
+
+	// Remove one node mid-flight (its mailbox loop must exit), then close
+	// the runtime (the rest must follow).
+	rt.Remove(nodes[2])
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	settleGoroutines(t, base)
+}

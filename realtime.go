@@ -124,24 +124,16 @@ func (r *RealtimeRuntime) Join(n *Node, contact Identity) error {
 // Leave requests n's removal from the system.
 func (r *RealtimeRuntime) Leave(n *Node) error { return r.invoke(n, n.inner.Leave) }
 
-// Broadcast disseminates data from n to every node in the system.
-func (r *RealtimeRuntime) Broadcast(n *Node, data []byte) error {
-	return r.invoke(n, func() error { return n.inner.Broadcast(data) })
-}
-
-// BroadcastWith is Broadcast with flow-control options (docs/API.md).
+// BroadcastWith disseminates data from n to every node in the system, with
+// flow-control options (docs/API.md); BroadcastOpts{} means defaults.
 func (r *RealtimeRuntime) BroadcastWith(n *Node, data []byte, opts BroadcastOpts) error {
 	return r.invoke(n, func() error { return n.inner.BroadcastWith(data, opts) })
 }
 
-// SendRaw sends an application raw message from n, inside its event loop,
-// and returns the typed send result (ErrNotRunning, ErrEgressOverflow,
+// SendRawWith sends an application raw message from n, inside its event
+// loop, with flow-control options (SendOpts{} means defaults), and returns
+// the typed send result (ErrNotRunning, ErrEgressOverflow,
 // ErrUnregisteredType).
-func (r *RealtimeRuntime) SendRaw(n *Node, to NodeID, msg any) error {
-	return r.invoke(n, func() error { return n.inner.SendRaw(to, msg) })
-}
-
-// SendRawWith is SendRaw with flow-control options.
 func (r *RealtimeRuntime) SendRawWith(n *Node, to NodeID, msg any, opts SendOpts) error {
 	return r.invoke(n, func() error { return n.inner.SendRawWith(to, msg, opts) })
 }

@@ -77,7 +77,7 @@ func TestRealtimeClusterBroadcast(t *testing.T) {
 		waitCond(t, "join of node", 30*time.Second, func() bool { return rt.IsMember(nodes[i]) })
 	}
 
-	if err := rt.Broadcast(nodes[0], []byte("hello real time")); err != nil {
+	if err := rt.BroadcastWith(nodes[0], []byte("hello real time"), atum.BroadcastOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < n; i++ {
@@ -151,7 +151,7 @@ func TestRealtimeChurn(t *testing.T) {
 		nodes = append(nodes, fresh)
 		cols = append(cols, c)
 
-		if err := rt.Broadcast(nodes[0], []byte("tick")); err != nil {
+		if err := rt.BroadcastWith(nodes[0], []byte("tick"), atum.BroadcastOpts{}); err != nil {
 			t.Fatal(err)
 		}
 		sent++

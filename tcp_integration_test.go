@@ -123,7 +123,7 @@ func TestAtumOverTCP(t *testing.T) {
 		})
 	}
 
-	if err := nodes[1].rt.Broadcast(nodes[1].node, []byte("across sockets")); err != nil {
+	if err := nodes[1].rt.BroadcastWith(nodes[1].node, []byte("across sockets"), atum.BroadcastOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < n; i++ {
